@@ -1,0 +1,79 @@
+// Command pibench regenerates the tables and figures of "Updatable
+// Materialization of Approximate Constraints" (ICDE 2021) from this
+// repository's reimplementation.
+//
+// Usage:
+//
+//	pibench -exp all                # every experiment at default scale
+//	pibench -exp fig6               # one experiment
+//	pibench -exp fig10 -sf 0.01     # TPC-H at a custom scale factor
+//	pibench -exp fig7 -rows 1000000 # larger microbenchmark tables
+//	pibench -quick                  # smoke-test scale
+//
+// Experiments: fig1, fig6, table2, fig7, fig8, fig9, table3, fig10,
+// fig11, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"patchindex/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id: fig1|fig6|table2|fig7|fig8|fig9|table3|fig10|fig11|all")
+		rows    = flag.Int("rows", 0, "microbenchmark table rows (0 = default scale)")
+		sf      = flag.Float64("sf", 0, "TPC-H scale factor (0 = default scale)")
+		bits    = flag.Uint64("bits", 0, "sharded bitmap size in bits (0 = default scale)")
+		updates = flag.Int("updates", 0, "Fig. 9 update set size (0 = default scale)")
+		quick   = flag.Bool("quick", false, "use the small smoke-test scale")
+	)
+	flag.Parse()
+
+	scale := experiments.DefaultScale()
+	if *quick {
+		scale = experiments.QuickScale()
+	}
+	if *rows > 0 {
+		scale.Rows = *rows
+	}
+	if *sf > 0 {
+		scale.SF = *sf
+	}
+	if *bits > 0 {
+		scale.BitmapBits = *bits
+	}
+	if *updates > 0 {
+		scale.UpdateTuples = *updates
+	}
+
+	w := os.Stdout
+	runners := map[string]func(){
+		"fig1":   func() { experiments.RunFig1(w, scale) },
+		"fig6":   func() { experiments.RunFig6(w, scale) },
+		"table2": func() { experiments.RunTable2(w, scale) },
+		"fig7":   func() { experiments.RunFig7(w, scale) },
+		"fig8":   func() { experiments.RunFig8(w, scale) },
+		"fig9":   func() { experiments.RunFig9(w, scale) },
+		"table3": func() { experiments.RunTable3(w, scale) },
+		"fig10":  func() { experiments.RunFig10(w, scale) },
+		"fig11":  func() { experiments.RunFig11(w, scale) },
+	}
+	order := []string{"fig1", "fig6", "table2", "fig7", "fig8", "table3", "fig9", "fig10", "fig11"}
+
+	if *exp == "all" {
+		for _, id := range order {
+			runners[id]()
+		}
+		return
+	}
+	run, ok := runners[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "pibench: unknown experiment %q (valid: %v, all)\n", *exp, order)
+		os.Exit(2)
+	}
+	run()
+}

@@ -1,0 +1,217 @@
+package bitmap
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestBitmapSetGetUnset(t *testing.T) {
+	b := New(200)
+	if b.Len() != 200 {
+		t.Fatalf("Len = %d, want 200", b.Len())
+	}
+	for _, i := range []uint64{0, 1, 63, 64, 65, 127, 128, 199} {
+		if b.Get(i) {
+			t.Fatalf("bit %d set in fresh bitmap", i)
+		}
+		b.Set(i)
+		if !b.Get(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+	}
+	if got := b.Count(); got != 8 {
+		t.Fatalf("Count = %d, want 8", got)
+	}
+	b.Unset(64)
+	if b.Get(64) {
+		t.Fatal("bit 64 still set after Unset")
+	}
+	if got := b.Count(); got != 7 {
+		t.Fatalf("Count = %d, want 7", got)
+	}
+}
+
+func TestBitmapOutOfRangePanics(t *testing.T) {
+	b := New(10)
+	for name, fn := range map[string]func(){
+		"Set":    func() { b.Set(10) },
+		"Get":    func() { b.Get(10) },
+		"Unset":  func() { b.Unset(11) },
+		"Delete": func() { b.Delete(10) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s(out of range) did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestBitmapDeleteShiftsTail(t *testing.T) {
+	// Paper Fig. 3 semantics: after deleting position p, the bit at
+	// position k (k >= p) is the old bit at position k+1.
+	b := New(300)
+	set := []uint64{2, 5, 70, 130, 131, 299}
+	for _, i := range set {
+		b.Set(i)
+	}
+	b.Delete(5)
+	if b.Len() != 299 {
+		t.Fatalf("Len = %d, want 299", b.Len())
+	}
+	want := []uint64{2, 69, 129, 130, 298}
+	got := b.SetBits()
+	if len(got) != len(want) {
+		t.Fatalf("SetBits = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SetBits = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestBitmapDeleteSetBitItself(t *testing.T) {
+	b := New(10)
+	b.Set(3)
+	b.Delete(3)
+	if b.Count() != 0 {
+		t.Fatalf("Count after deleting the only set bit = %d, want 0", b.Count())
+	}
+	if b.Len() != 9 {
+		t.Fatalf("Len = %d, want 9", b.Len())
+	}
+}
+
+func TestBitmapDeleteAtWordBoundaries(t *testing.T) {
+	for _, pos := range []uint64{0, 63, 64, 127, 128} {
+		b := New(256)
+		b.Set(255)
+		b.Set(pos)
+		b.Delete(pos)
+		if b.Get(254) != true {
+			t.Fatalf("delete at %d: bit 255 should have moved to 254", pos)
+		}
+		if pos < 254 && b.Get(pos) {
+			t.Fatalf("delete at %d: deleted slot should now hold old bit %d (unset)", pos, pos+1)
+		}
+	}
+}
+
+func TestBitmapGrow(t *testing.T) {
+	b := New(10)
+	b.Set(9)
+	b.Grow(100)
+	if b.Len() != 110 {
+		t.Fatalf("Len = %d, want 110", b.Len())
+	}
+	if !b.Get(9) {
+		t.Fatal("existing bit lost after Grow")
+	}
+	for i := uint64(10); i < 110; i++ {
+		if b.Get(i) {
+			t.Fatalf("grown bit %d should be unset", i)
+		}
+	}
+	b.Set(109)
+	if !b.Get(109) {
+		t.Fatal("cannot set grown bit")
+	}
+}
+
+func TestBitmapGrowAfterDelete(t *testing.T) {
+	// Delete must clear the vacated slot so Grow exposes zeroed bits.
+	b := New(128)
+	for i := uint64(0); i < 128; i++ {
+		b.Set(i)
+	}
+	for i := 0; i < 10; i++ {
+		b.Delete(0)
+	}
+	b.Grow(10)
+	for i := uint64(118); i < 128; i++ {
+		if b.Get(i) {
+			t.Fatalf("grown bit %d should be unset after deletes", i)
+		}
+	}
+}
+
+func TestBitmapForEachSetEarlyStop(t *testing.T) {
+	b := New(100)
+	for i := uint64(0); i < 100; i += 10 {
+		b.Set(i)
+	}
+	var seen int
+	b.ForEachSet(func(pos uint64) bool {
+		seen++
+		return seen < 3
+	})
+	if seen != 3 {
+		t.Fatalf("early stop visited %d bits, want 3", seen)
+	}
+}
+
+func TestBitmapClone(t *testing.T) {
+	b := New(100)
+	b.Set(42)
+	c := b.Clone()
+	c.Set(43)
+	if b.Get(43) {
+		t.Fatal("Clone is not a deep copy")
+	}
+	if !c.Get(42) {
+		t.Fatal("Clone lost bit 42")
+	}
+}
+
+func TestBitmapSerializationRoundtrip(t *testing.T) {
+	b := New(1000)
+	for i := uint64(0); i < 1000; i += 7 {
+		b.Set(i)
+	}
+	var buf bytes.Buffer
+	if _, err := b.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	var r Bitmap
+	if _, err := r.ReadFrom(&buf); err != nil {
+		t.Fatalf("ReadFrom: %v", err)
+	}
+	if r.Len() != b.Len() || r.Count() != b.Count() {
+		t.Fatalf("roundtrip mismatch: len %d/%d count %d/%d", r.Len(), b.Len(), r.Count(), b.Count())
+	}
+	for i := uint64(0); i < 1000; i++ {
+		if r.Get(i) != b.Get(i) {
+			t.Fatalf("bit %d differs after roundtrip", i)
+		}
+	}
+}
+
+func TestBitmapReadFromBadMagic(t *testing.T) {
+	var r Bitmap
+	if _, err := r.ReadFrom(bytes.NewReader(make([]byte, 16))); err == nil {
+		t.Fatal("ReadFrom accepted bad magic")
+	}
+}
+
+func TestBitmapSizeBytes(t *testing.T) {
+	b := New(1 << 20)
+	if got, want := b.SizeBytes(), uint64(1<<20/8); got != want {
+		t.Fatalf("SizeBytes = %d, want %d", got, want)
+	}
+}
+
+func TestBitmapEmpty(t *testing.T) {
+	b := New(0)
+	if b.Len() != 0 || b.Count() != 0 {
+		t.Fatal("empty bitmap not empty")
+	}
+	b.Grow(5)
+	b.Set(4)
+	if !b.Get(4) {
+		t.Fatal("grow from empty failed")
+	}
+}

@@ -1,0 +1,139 @@
+package bitmap
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// BulkDelete removes the bits at the given logical positions, which must
+// be sorted in ascending order and distinct. It implements the parallel
+// and vectorized bulk delete of the paper (Section 4.2.3, Fig. 4):
+//
+//  1. Preprocessing groups positions by shard and converts them to
+//     physical offsets while the start values are still unmodified.
+//  2. One goroutine per affected shard performs the intra-shard shifts.
+//     Positions within a shard are processed in descending order, since
+//     each delete shifts the positions of subsequent bits.
+//  3. A single traversal adapts all start values by holding a running
+//     sum of the bits deleted in preceding shards.
+func (s *Sharded) BulkDelete(positions []uint64) {
+	if len(positions) == 0 {
+		return
+	}
+	if !sort.SliceIsSorted(positions, func(i, j int) bool { return positions[i] < positions[j] }) {
+		panic("bitmap: BulkDelete positions must be sorted ascending")
+	}
+	if positions[len(positions)-1] >= s.n {
+		panic(fmt.Sprintf("bitmap: BulkDelete position %d out of range [0,%d)", positions[len(positions)-1], s.n))
+	}
+
+	// Step 1: group by shard, recording physical bit offsets.
+	type shardWork struct {
+		shard uint64
+		phys  []uint64 // absolute physical positions, ascending
+	}
+	var work []shardWork
+	for _, p := range positions {
+		sh, phys := s.locate(p)
+		if len(work) > 0 && work[len(work)-1].shard == sh {
+			last := &work[len(work)-1]
+			if phys == last.phys[len(last.phys)-1] {
+				panic("bitmap: BulkDelete positions must be distinct")
+			}
+			last.phys = append(last.phys, phys)
+			continue
+		}
+		work = append(work, shardWork{shard: sh, phys: []uint64{phys}})
+	}
+
+	// Step 2: shift within each affected shard in parallel.
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(work) {
+		workers = len(work)
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, len(work))
+	for i := range work {
+		next <- i
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				s.deleteWithinShard(work[i].shard, work[i].phys)
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Step 3: adapt start values with a running sum of deleted bits.
+	var deleted uint64
+	wi := 0
+	for sh := 0; sh < len(s.starts); sh++ {
+		s.starts[sh] -= deleted
+		if wi < len(work) && work[wi].shard == uint64(sh) {
+			deleted += uint64(len(work[wi].phys))
+			wi++
+		}
+	}
+	s.n -= deleted
+	s.lost += deleted
+}
+
+// deleteWithinShard performs the intra-shard shifts for one shard. phys
+// holds absolute physical positions in ascending order; they are
+// processed descending so earlier deletes do not invalidate later
+// offsets. The shard's dead region is cleared afterwards so Grow can
+// expose zeroed slots.
+func (s *Sharded) deleteWithinShard(sh uint64, phys []uint64) {
+	live := s.liveBits(sh)
+	shardStart := sh * s.shardBits
+	liveEnd := shardStart + live
+	for i := len(phys) - 1; i >= 0; i-- {
+		if s.vectorized {
+			shiftTailLeftOneVec(s.words, phys[i], liveEnd)
+		} else {
+			shiftTailLeftOne(s.words, phys[i], liveEnd)
+		}
+	}
+	clearBits(s.words, liveEnd-uint64(len(phys)), uint64(len(phys)))
+}
+
+// Condense reclaims the dead slots that deletes leave at the end of each
+// shard (Section 4.2.4): a single traversal shifts the live bits of
+// subsequent shards down into the gaps and resets the start values, so
+// the structure's utilization returns to 1.
+func (s *Sharded) Condense() {
+	if s.lost == 0 {
+		return
+	}
+	var writePhys uint64
+	for sh := range s.starts {
+		live := s.liveBits(uint64(sh))
+		readPhys := uint64(sh) * s.shardBits
+		copyBitsDown(s.words, writePhys, readPhys, live)
+		writePhys += live
+	}
+	clearBits(s.words, writePhys, uint64(len(s.words))*wordBits-writePhys)
+	// Physical layout is dense again; restore shard-aligned start values.
+	for sh := range s.starts {
+		s.starts[sh] = uint64(sh) * s.shardBits
+		if s.starts[sh] > s.n {
+			s.starts[sh] = s.n
+		}
+	}
+	// Drop now-empty trailing shards, keeping at least one.
+	needShards := int((s.n + s.shardBits - 1) / s.shardBits)
+	if needShards == 0 {
+		needShards = 1
+	}
+	if needShards < len(s.starts) {
+		s.starts = s.starts[:needShards]
+		s.words = s.words[:uint64(needShards)*s.shardWords]
+	}
+	s.lost = 0
+}

@@ -1,0 +1,109 @@
+package bitmap
+
+import "sync"
+
+// Concurrent wraps a Sharded bitmap with fine-grained, per-shard locking
+// (Section 5.4). Because shards are independent, concurrent Set/Unset/Get
+// on different shards never contend. Structural operations (Delete,
+// BulkDelete, Grow, Condense) adapt start values across shards and take
+// the structure lock exclusively; start-value adaption itself is a series
+// of decrements and would commute, but the physical shifts require
+// exclusive access to the affected shard.
+type Concurrent struct {
+	mu     sync.RWMutex // structure lock: layout, starts, n
+	shards []sync.Mutex // one lock per shard for bit-level access
+	s      *Sharded
+}
+
+// NewConcurrent returns a concurrency-safe wrapper around a fresh sharded
+// bitmap with n bits and the given shard size.
+func NewConcurrent(n, shardBits uint64) *Concurrent {
+	s := NewSharded(n, shardBits)
+	return &Concurrent{s: s, shards: make([]sync.Mutex, s.NumShards())}
+}
+
+// Len returns the number of live logical bits.
+func (c *Concurrent) Len() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.s.Len()
+}
+
+// Set sets bit i, locking only the shard holding it.
+func (c *Concurrent) Set(i uint64) { c.bitOp(i, (*Sharded).Set) }
+
+// Unset clears bit i, locking only the shard holding it.
+func (c *Concurrent) Unset(i uint64) { c.bitOp(i, (*Sharded).Unset) }
+
+func (c *Concurrent) bitOp(i uint64, op func(*Sharded, uint64)) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	sh, _ := c.s.locate(i)
+	c.shards[sh].Lock()
+	op(c.s, i)
+	c.shards[sh].Unlock()
+}
+
+// Get reports whether bit i is set.
+func (c *Concurrent) Get(i uint64) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	sh, _ := c.s.locate(i)
+	c.shards[sh].Lock()
+	v := c.s.Get(i)
+	c.shards[sh].Unlock()
+	return v
+}
+
+// Count returns the number of set live bits.
+func (c *Concurrent) Count() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.s.Count()
+}
+
+// Delete removes bit i. Takes the structure lock exclusively because the
+// start values of subsequent shards change.
+func (c *Concurrent) Delete(i uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.s.Delete(i)
+}
+
+// BulkDelete removes the sorted, distinct positions.
+func (c *Concurrent) BulkDelete(positions []uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.s.BulkDelete(positions)
+	c.syncShards()
+}
+
+// Grow appends extra unset bits.
+func (c *Concurrent) Grow(extra uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.s.Grow(extra)
+	c.syncShards()
+}
+
+// Condense reclaims dead slots.
+func (c *Concurrent) Condense() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.s.Condense()
+	c.syncShards()
+}
+
+// Snapshot returns a deep copy of the underlying sharded bitmap, taken
+// under the structure lock. It backs snapshot-isolation style reads.
+func (c *Concurrent) Snapshot() *Sharded {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.s.Clone()
+}
+
+func (c *Concurrent) syncShards() {
+	if len(c.shards) != c.s.NumShards() {
+		c.shards = make([]sync.Mutex, c.s.NumShards())
+	}
+}

@@ -1,0 +1,143 @@
+package bitmap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/bits"
+)
+
+// Checkpoint support (Section 3.4): PatchIndexes are main-memory
+// structures that are either recreated after a restart or persisted as a
+// checkpoint. WriteTo/ReadFrom implement the checkpoint encoding for both
+// bitmap types using a small self-describing binary header.
+
+const (
+	magicBitmap  = 0x50494231 // "PIB1"
+	magicSharded = 0x50495331 // "PIS1"
+)
+
+// WriteTo serializes the bitmap. It implements io.WriterTo.
+func (b *Bitmap) WriteTo(w io.Writer) (int64, error) {
+	hdr := make([]byte, 16)
+	binary.LittleEndian.PutUint32(hdr[0:], magicBitmap)
+	binary.LittleEndian.PutUint32(hdr[4:], 0)
+	binary.LittleEndian.PutUint64(hdr[8:], b.n)
+	if _, err := w.Write(hdr); err != nil {
+		return 0, err
+	}
+	written := int64(len(hdr))
+	n, err := writeWords(w, b.words[:wordsFor(b.n)])
+	return written + n, err
+}
+
+// ReadFrom deserializes a bitmap previously written with WriteTo.
+func (b *Bitmap) ReadFrom(r io.Reader) (int64, error) {
+	hdr := make([]byte, 16)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return 0, err
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != magicBitmap {
+		return 0, errors.New("bitmap: bad magic in bitmap checkpoint")
+	}
+	b.n = binary.LittleEndian.Uint64(hdr[8:])
+	b.words = make([]uint64, wordsFor(b.n))
+	n, err := readWords(r, b.words)
+	return int64(len(hdr)) + n, err
+}
+
+// WriteTo serializes the sharded bitmap. It implements io.WriterTo.
+func (s *Sharded) WriteTo(w io.Writer) (int64, error) {
+	hdr := make([]byte, 40)
+	binary.LittleEndian.PutUint32(hdr[0:], magicSharded)
+	binary.LittleEndian.PutUint32(hdr[4:], 0)
+	binary.LittleEndian.PutUint64(hdr[8:], s.n)
+	binary.LittleEndian.PutUint64(hdr[16:], s.shardBits)
+	binary.LittleEndian.PutUint64(hdr[24:], s.lost)
+	binary.LittleEndian.PutUint64(hdr[32:], uint64(len(s.starts)))
+	if _, err := w.Write(hdr); err != nil {
+		return 0, err
+	}
+	written := int64(len(hdr))
+	n, err := writeWords(w, s.starts)
+	written += n
+	if err != nil {
+		return written, err
+	}
+	n, err = writeWords(w, s.words)
+	return written + n, err
+}
+
+// ReadFrom deserializes a sharded bitmap previously written with WriteTo.
+func (s *Sharded) ReadFrom(r io.Reader) (int64, error) {
+	hdr := make([]byte, 40)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return 0, err
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != magicSharded {
+		return 0, errors.New("bitmap: bad magic in sharded bitmap checkpoint")
+	}
+	s.n = binary.LittleEndian.Uint64(hdr[8:])
+	s.shardBits = binary.LittleEndian.Uint64(hdr[16:])
+	if s.shardBits < MinShardBits || s.shardBits&(s.shardBits-1) != 0 {
+		return 0, fmt.Errorf("bitmap: corrupt checkpoint: shard size %d", s.shardBits)
+	}
+	s.logShard = uint(bits.TrailingZeros64(s.shardBits))
+	s.shardWords = s.shardBits / wordBits
+	s.lost = binary.LittleEndian.Uint64(hdr[24:])
+	numShards := binary.LittleEndian.Uint64(hdr[32:])
+	s.starts = make([]uint64, numShards)
+	s.vectorized = true
+	read := int64(len(hdr))
+	n, err := readWords(r, s.starts)
+	read += n
+	if err != nil {
+		return read, err
+	}
+	s.words = make([]uint64, numShards*s.shardWords)
+	n, err = readWords(r, s.words)
+	return read + n, err
+}
+
+func writeWords(w io.Writer, words []uint64) (int64, error) {
+	buf := make([]byte, 8192)
+	var written int64
+	for len(words) > 0 {
+		k := len(buf) / 8
+		if k > len(words) {
+			k = len(words)
+		}
+		for i := 0; i < k; i++ {
+			binary.LittleEndian.PutUint64(buf[i*8:], words[i])
+		}
+		n, err := w.Write(buf[:k*8])
+		written += int64(n)
+		if err != nil {
+			return written, err
+		}
+		words = words[k:]
+	}
+	return written, nil
+}
+
+func readWords(r io.Reader, words []uint64) (int64, error) {
+	buf := make([]byte, 8192)
+	var read int64
+	for len(words) > 0 {
+		k := len(buf) / 8
+		if k > len(words) {
+			k = len(words)
+		}
+		n, err := io.ReadFull(r, buf[:k*8])
+		read += int64(n)
+		if err != nil {
+			return read, err
+		}
+		for i := 0; i < k; i++ {
+			words[i] = binary.LittleEndian.Uint64(buf[i*8:])
+		}
+		words = words[k:]
+	}
+	return read, nil
+}

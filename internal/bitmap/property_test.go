@@ -1,0 +1,180 @@
+package bitmap
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickShiftKernelsEquivalent checks that the word-vectorized
+// cross-element shift and the scalar bit-loop produce identical results
+// on random words and ranges. The vectorized kernel is the Go analogue of
+// the paper's AVX2 Listing 1; the scalar loop is the oracle.
+func TestQuickShiftKernelsEquivalent(t *testing.T) {
+	f := func(seed int64, fromRaw, spanRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const nWords = 8
+		a := make([]uint64, nWords)
+		for i := range a {
+			a[i] = rng.Uint64()
+		}
+		b := make([]uint64, nWords)
+		copy(b, a)
+		total := uint64(nWords * wordBits)
+		from := uint64(fromRaw) % total
+		to := from + uint64(spanRaw)%(total-from) + 1
+		c := make([]uint64, nWords)
+		copy(c, a)
+		shiftTailLeftOne(a, from, to)
+		shiftTailLeftOneScalar(b, from, to)
+		shiftTailLeftOneVec(c, from, to)
+		return reflect.DeepEqual(a, b) && reflect.DeepEqual(c, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCopyBitsDown checks the condense copy helper against a
+// bit-by-bit oracle for random overlapping down-copies.
+func TestQuickCopyBitsDown(t *testing.T) {
+	f := func(seed int64, dstRaw, gapRaw, countRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const nWords = 10
+		words := make([]uint64, nWords)
+		for i := range words {
+			words[i] = rng.Uint64()
+		}
+		total := uint64(nWords * wordBits)
+		dst := uint64(dstRaw) % (total / 2)
+		src := dst + uint64(gapRaw)%(total/4)
+		maxCount := total - src
+		count := uint64(countRaw) % (maxCount + 1)
+
+		// Oracle: extract source bits first, then write them.
+		ref := make([]bool, count)
+		for i := uint64(0); i < count; i++ {
+			p := src + i
+			ref[i] = words[p>>logWord]&(1<<(p&wordMask)) != 0
+		}
+		got := make([]uint64, nWords)
+		copy(got, words)
+		copyBitsDown(got, dst, src, count)
+		for i := uint64(0); i < count; i++ {
+			p := dst + i
+			b := got[p>>logWord]&(1<<(p&wordMask)) != 0
+			if b != ref[i] {
+				return false
+			}
+		}
+		// Bits below dst must be untouched.
+		for i := uint64(0); i < dst; i++ {
+			if got[i>>logWord]&(1<<(i&wordMask)) != words[i>>logWord]&(1<<(i&wordMask)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickShardedMatchesModel drives random operation sequences against
+// the reference model: the central correctness property of the sharded
+// bitmap under mixed updates.
+func TestQuickShardedMatchesModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 200 + rng.Intn(2000)
+		shardBits := uint64(64 << rng.Intn(4))
+		s := NewSharded(uint64(n), shardBits)
+		if rng.Intn(2) == 0 {
+			s.SetVectorized(false)
+		}
+		m := newModel(n)
+		for op := 0; op < 300; op++ {
+			if s.Len() == 0 {
+				s.Grow(64)
+				m.grow(64)
+			}
+			switch rng.Intn(10) {
+			case 0, 1, 2, 3: // set
+				p := uint64(rng.Intn(len(m.bits)))
+				s.Set(p)
+				m.set(p)
+			case 4: // unset
+				p := uint64(rng.Intn(len(m.bits)))
+				s.Unset(p)
+				m.unset(p)
+			case 5, 6: // delete
+				p := uint64(rng.Intn(len(m.bits)))
+				s.Delete(p)
+				m.del(p)
+			case 7: // bulk delete
+				k := 1 + rng.Intn(min(20, len(m.bits)))
+				positions := samplePositions(rng, len(m.bits), k)
+				s.BulkDelete(positions)
+				m.bulkDel(positions)
+			case 8: // grow
+				extra := 1 + rng.Intn(100)
+				s.Grow(uint64(extra))
+				m.grow(extra)
+			case 9: // condense
+				s.Condense()
+			}
+		}
+		if s.Len() != uint64(len(m.bits)) {
+			return false
+		}
+		for i := range m.bits {
+			if s.Get(uint64(i)) != m.bits[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDeleteSemantics verifies the defining delete property on
+// random states: for every k >= p, bit k after Delete(p) equals bit k+1
+// before.
+func TestQuickDeleteSemantics(t *testing.T) {
+	f := func(seed int64, posRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 1500
+		s := NewSharded(n, 128)
+		before := make([]bool, n)
+		for i := 0; i < 400; i++ {
+			p := uint64(rng.Intn(n))
+			s.Set(p)
+			before[p] = true
+		}
+		pos := uint64(posRaw) % n
+		s.Delete(pos)
+		for k := uint64(0); k < n-1; k++ {
+			want := before[k]
+			if k >= pos {
+				want = before[k+1]
+			}
+			if s.Get(k) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

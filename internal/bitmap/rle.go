@@ -1,0 +1,86 @@
+package bitmap
+
+import "sort"
+
+// Run-length compression (the paper's future-work Section 7: "Typically,
+// bitmaps are compressed using run-length encoding, which could reduce
+// the PatchIndex memory consumption especially for low exception
+// rates"). RLE is an immutable compressed snapshot of a bitmap's set
+// positions; it supports membership tests and iteration and can be
+// expanded back into a sharded bitmap when update support is needed
+// again.
+type RLE struct {
+	starts  []uint64 // start position of each run of set bits
+	lengths []uint32 // run lengths
+	n       uint64   // logical bitmap length
+	count   uint64   // total set bits
+}
+
+// CompressRLE snapshots the set bits of a sharded bitmap into RLE form.
+func CompressRLE(s *Sharded) *RLE {
+	r := &RLE{n: s.Len()}
+	var runStart uint64
+	var runLen uint32
+	s.ForEachSet(func(pos uint64) bool {
+		if runLen > 0 && pos == runStart+uint64(runLen) {
+			runLen++
+			return true
+		}
+		if runLen > 0 {
+			r.starts = append(r.starts, runStart)
+			r.lengths = append(r.lengths, runLen)
+		}
+		runStart = pos
+		runLen = 1
+		return true
+	})
+	if runLen > 0 {
+		r.starts = append(r.starts, runStart)
+		r.lengths = append(r.lengths, runLen)
+	}
+	for _, l := range r.lengths {
+		r.count += uint64(l)
+	}
+	return r
+}
+
+// Len returns the logical bitmap length.
+func (r *RLE) Len() uint64 { return r.n }
+
+// Count returns the number of set bits.
+func (r *RLE) Count() uint64 { return r.count }
+
+// Get reports whether position i is set, by binary search over the runs.
+func (r *RLE) Get(i uint64) bool {
+	k := sort.Search(len(r.starts), func(j int) bool { return r.starts[j] > i })
+	if k == 0 {
+		return false
+	}
+	k--
+	return i < r.starts[k]+uint64(r.lengths[k])
+}
+
+// ForEachSet calls fn for each set position in ascending order.
+func (r *RLE) ForEachSet(fn func(pos uint64) bool) {
+	for k := range r.starts {
+		for p := r.starts[k]; p < r.starts[k]+uint64(r.lengths[k]); p++ {
+			if !fn(p) {
+				return
+			}
+		}
+	}
+}
+
+// SizeBytes returns the compressed size: 12 bytes per run.
+func (r *RLE) SizeBytes() uint64 { return uint64(len(r.starts))*12 + 24 }
+
+// Decompress expands the snapshot back into an updatable sharded bitmap
+// with the given shard size.
+func (r *RLE) Decompress(shardBits uint64) *Sharded {
+	s := NewSharded(r.n, shardBits)
+	r.ForEachSet(func(pos uint64) bool {
+		s.Set(pos)
+		return true
+	})
+	return s
+}

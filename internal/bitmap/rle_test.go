@@ -1,0 +1,95 @@
+package bitmap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRLERoundtrip(t *testing.T) {
+	s := NewSharded(10_000, 1<<10)
+	positions := []uint64{0, 1, 2, 100, 5000, 5001, 9999}
+	for _, p := range positions {
+		s.Set(p)
+	}
+	r := CompressRLE(s)
+	if r.Len() != 10_000 || r.Count() != uint64(len(positions)) {
+		t.Fatalf("Len=%d Count=%d", r.Len(), r.Count())
+	}
+	for _, p := range positions {
+		if !r.Get(p) {
+			t.Fatalf("bit %d lost in compression", p)
+		}
+	}
+	for _, p := range []uint64{3, 99, 101, 4999, 5002, 9998} {
+		if r.Get(p) {
+			t.Fatalf("bit %d falsely set", p)
+		}
+	}
+	d := r.Decompress(1 << 10)
+	if d.Count() != s.Count() || d.Len() != s.Len() {
+		t.Fatal("decompression mismatch")
+	}
+	for _, p := range positions {
+		if !d.Get(p) {
+			t.Fatalf("bit %d lost after decompress", p)
+		}
+	}
+}
+
+func TestRLECompressionWins(t *testing.T) {
+	// Low exception rates (the common PatchIndex case) compress well:
+	// few runs of set bits in a long bitmap.
+	const n = 1 << 20
+	s := NewSharded(n, DefaultShardBits)
+	for i := 0; i < 100; i++ {
+		s.Set(uint64(i * 10_000))
+	}
+	r := CompressRLE(s)
+	if r.SizeBytes() >= s.SizeBytes()/10 {
+		t.Fatalf("RLE %d B vs sharded %d B: expected >=10x compression at e=0.0001",
+			r.SizeBytes(), s.SizeBytes())
+	}
+}
+
+func TestRLEEmptyAndFull(t *testing.T) {
+	s := NewSharded(256, 64)
+	r := CompressRLE(s)
+	if r.Count() != 0 || r.Get(0) {
+		t.Fatal("empty compression broken")
+	}
+	for i := uint64(0); i < 256; i++ {
+		s.Set(i)
+	}
+	r = CompressRLE(s)
+	if r.Count() != 256 || len(r.starts) != 1 {
+		t.Fatalf("full bitmap should be one run, got %d", len(r.starts))
+	}
+	if !r.Get(0) || !r.Get(255) {
+		t.Fatal("full compression lost bits")
+	}
+}
+
+func TestQuickRLEMatchesSharded(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 100 + rng.Intn(4000)
+		s := NewSharded(uint64(n), 128)
+		for i := 0; i < n/3; i++ {
+			s.Set(uint64(rng.Intn(n)))
+		}
+		r := CompressRLE(s)
+		if r.Count() != s.Count() {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if r.Get(uint64(i)) != s.Get(uint64(i)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,192 @@
+package bitmap
+
+// Cross-element bit shifting. The paper accelerates the intra-shard shift
+// of the delete operation with an AVX2 kernel (Listing 1). Go has no
+// stdlib SIMD, so this file provides three kernels:
+//
+//   - shiftTailLeftOne: one 64-bit word at a time, carrying the low bit
+//     of the following word into the high bit of the current one — the
+//     scalar baseline (the paper's "parallel" variant).
+//   - shiftTailLeftOneVec: the same data movement unrolled four words
+//     (256 bits) at a time, mirroring the AVX2 kernel's register width —
+//     the "parallel & vectorized" variant of Fig. 6.
+//   - shiftTailLeftOneScalar: a bit-at-a-time oracle for property tests.
+
+// shiftTailLeftOne shifts the bits in logical range (from, to) one
+// position towards from: after the call, bit k holds the previous bit k+1
+// for all k in [from, to-1), and bit to-1 is cleared. Bits below from and
+// at or above to are unchanged, except that bit to-1 becomes 0.
+func shiftTailLeftOne(words []uint64, from, to uint64) {
+	if from+1 >= to {
+		if from < to {
+			words[from>>logWord] &^= 1 << (from & wordMask)
+		}
+		return
+	}
+	wFrom := from >> logWord
+	wLast := (to - 1) >> logWord
+	var keepHigh uint64 // bits of the last word at positions >= to
+	if rem := to & wordMask; rem != 0 {
+		keepHigh = words[wLast] &^ (1<<rem - 1)
+	}
+	for w := wFrom; w <= wLast; w++ {
+		var carry uint64
+		if w < wLast {
+			carry = words[w+1] & 1
+		}
+		shifted := words[w]>>1 | carry<<(wordBits-1)
+		if w == wFrom {
+			if lo := from & wordMask; lo != 0 {
+				mask := uint64(1)<<lo - 1
+				shifted = words[w]&mask | shifted&^mask
+			}
+		}
+		words[w] = shifted
+	}
+	// Restore the untouched region above to and clear the vacated slot.
+	if rem := to & wordMask; rem != 0 {
+		words[wLast] = words[wLast]&(1<<rem-1) | keepHigh
+	}
+	last := to - 1
+	words[last>>logWord] &^= 1 << (last & wordMask)
+}
+
+// shiftTailLeftOneVec is shiftTailLeftOne with the word loop unrolled
+// four 64-bit words at a time — the Go analogue of the paper's AVX2
+// cross-element shift (Listing 1), which processes one 256-bit register
+// per iteration and blends the carry bit across lanes.
+func shiftTailLeftOneVec(words []uint64, from, to uint64) {
+	if from+1 >= to {
+		if from < to {
+			words[from>>logWord] &^= 1 << (from & wordMask)
+		}
+		return
+	}
+	wFrom := from >> logWord
+	wLast := (to - 1) >> logWord
+	var keepHigh uint64
+	if rem := to & wordMask; rem != 0 {
+		keepHigh = words[wLast] &^ (1<<rem - 1)
+	}
+	// First word: preserve the bits below from.
+	w := wFrom
+	{
+		var carry uint64
+		if w < wLast {
+			carry = words[w+1] & 1
+		}
+		shifted := words[w]>>1 | carry<<(wordBits-1)
+		if lo := from & wordMask; lo != 0 {
+			mask := uint64(1)<<lo - 1
+			shifted = words[w]&mask | shifted&^mask
+		}
+		words[w] = shifted
+		w++
+	}
+	// Unrolled main loop: four words per iteration with cross-lane
+	// carries, like one AVX2 iteration of Listing 1.
+	for w+4 <= wLast {
+		w0, w1, w2, w3 := words[w], words[w+1], words[w+2], words[w+3]
+		next := words[w+4] & 1
+		words[w] = w0>>1 | (w1&1)<<(wordBits-1)
+		words[w+1] = w1>>1 | (w2&1)<<(wordBits-1)
+		words[w+2] = w2>>1 | (w3&1)<<(wordBits-1)
+		words[w+3] = w3>>1 | next<<(wordBits-1)
+		w += 4
+	}
+	for ; w <= wLast; w++ {
+		var carry uint64
+		if w < wLast {
+			carry = words[w+1] & 1
+		}
+		words[w] = words[w]>>1 | carry<<(wordBits-1)
+	}
+	if rem := to & wordMask; rem != 0 {
+		words[wLast] = words[wLast]&(1<<rem-1) | keepHigh
+	}
+	last := to - 1
+	words[last>>logWord] &^= 1 << (last & wordMask)
+}
+
+// shiftTailLeftOneScalar is the bit-at-a-time reference implementation of
+// shiftTailLeftOne, used by property tests as an oracle.
+func shiftTailLeftOneScalar(words []uint64, from, to uint64) {
+	for k := from; k+1 < to; k++ {
+		src := k + 1
+		bit := words[src>>logWord] & (1 << (src & wordMask))
+		if bit != 0 {
+			words[k>>logWord] |= 1 << (k & wordMask)
+		} else {
+			words[k>>logWord] &^= 1 << (k & wordMask)
+		}
+	}
+	if from < to {
+		last := to - 1
+		words[last>>logWord] &^= 1 << (last & wordMask)
+	}
+}
+
+// copyBitsDown copies count bits from logical position src to logical
+// position dst within words, where dst <= src. The copy proceeds from low
+// to high positions, which is safe for overlapping ranges when moving
+// bits towards lower positions (the direction condense needs).
+func copyBitsDown(words []uint64, dst, src, count uint64) {
+	if dst == src || count == 0 {
+		return
+	}
+	// Word-at-a-time: assemble each destination word from one or two
+	// source words.
+	for count > 0 {
+		dw := dst >> logWord
+		dOff := dst & wordMask
+		// Bits we can write into the current destination word.
+		chunk := wordBits - dOff
+		if chunk > count {
+			chunk = count
+		}
+		v := readBits(words, src, chunk)
+		mask := maskRange(dOff, chunk)
+		words[dw] = words[dw]&^mask | v<<dOff&mask
+		dst += chunk
+		src += chunk
+		count -= chunk
+	}
+}
+
+// readBits reads count (1..64) bits starting at logical position pos and
+// returns them in the low bits of the result.
+func readBits(words []uint64, pos, count uint64) uint64 {
+	w := pos >> logWord
+	off := pos & wordMask
+	v := words[w] >> off
+	if off+count > wordBits && w+1 < uint64(len(words)) {
+		v |= words[w+1] << (wordBits - off)
+	}
+	if count < wordBits {
+		v &= 1<<count - 1
+	}
+	return v
+}
+
+// clearBits clears count bits starting at logical position pos.
+func clearBits(words []uint64, pos, count uint64) {
+	for count > 0 {
+		w := pos >> logWord
+		off := pos & wordMask
+		chunk := wordBits - off
+		if chunk > count {
+			chunk = count
+		}
+		words[w] &^= maskRange(off, chunk)
+		pos += chunk
+		count -= chunk
+	}
+}
+
+// maskRange returns a mask with count bits set starting at bit off.
+func maskRange(off, count uint64) uint64 {
+	if count >= wordBits {
+		return ^uint64(0) << off
+	}
+	return (1<<count - 1) << off
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+
+	"patchindex/internal/bitmap"
+)
+
+// Recovery (Section 3.4): PatchIndexes are main-memory structures that
+// are recreated after a restart, or persisted to disk as a checkpoint in
+// combination with logging of subsequent update operations. WriteTo and
+// ReadFrom implement the checkpoint encoding.
+
+const magicIndex = 0x50495831 // "PIX1"
+
+// WriteTo serializes the index as a checkpoint. It implements
+// io.WriterTo.
+func (x *Index) WriteTo(w io.Writer) (int64, error) {
+	hdr := make([]byte, 56)
+	binary.LittleEndian.PutUint32(hdr[0:], magicIndex)
+	hdr[4] = byte(x.constraint)
+	hdr[5] = byte(x.opts.Design)
+	if x.opts.Descending {
+		hdr[6] = 1
+	}
+	if x.hasLastValue {
+		hdr[7] = 1
+	}
+	binary.LittleEndian.PutUint64(hdr[8:], x.rows)
+	binary.LittleEndian.PutUint64(hdr[16:], x.np)
+	binary.LittleEndian.PutUint64(hdr[24:], uint64(x.lastValue))
+	binary.LittleEndian.PutUint64(hdr[32:], x.opts.ShardBits)
+	binary.LittleEndian.PutUint64(hdr[40:], uint64(len(x.ids)))
+	// hdr[48:56] reserved.
+	if _, err := w.Write(hdr); err != nil {
+		return 0, err
+	}
+	written := int64(len(hdr))
+	if x.opts.Design == DesignBitmap {
+		n, err := x.bm.WriteTo(w)
+		return written + n, err
+	}
+	buf := make([]byte, 8)
+	for _, id := range x.ids {
+		binary.LittleEndian.PutUint64(buf, id)
+		n, err := w.Write(buf)
+		written += int64(n)
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}
+
+// ReadFrom restores an index from a checkpoint written by WriteTo.
+func (x *Index) ReadFrom(r io.Reader) (int64, error) {
+	hdr := make([]byte, 56)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return 0, err
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != magicIndex {
+		return 0, errors.New("core: bad magic in PatchIndex checkpoint")
+	}
+	x.constraint = Constraint(hdr[4])
+	x.opts.Design = Design(hdr[5])
+	x.opts.Descending = hdr[6] == 1
+	x.hasLastValue = hdr[7] == 1
+	x.rows = binary.LittleEndian.Uint64(hdr[8:])
+	x.np = binary.LittleEndian.Uint64(hdr[16:])
+	x.lastValue = int64(binary.LittleEndian.Uint64(hdr[24:]))
+	x.opts.ShardBits = binary.LittleEndian.Uint64(hdr[32:])
+	nIDs := binary.LittleEndian.Uint64(hdr[40:])
+	read := int64(len(hdr))
+	if x.opts.Design == DesignBitmap {
+		x.bm = &bitmap.Sharded{}
+		n, err := x.bm.ReadFrom(r)
+		return read + n, err
+	}
+	x.ids = make([]uint64, nIDs)
+	buf := make([]byte, 8)
+	for i := range x.ids {
+		n, err := io.ReadFull(r, buf)
+		read += int64(n)
+		if err != nil {
+			return read, err
+		}
+		x.ids[i] = binary.LittleEndian.Uint64(buf)
+	}
+	return read, nil
+}

@@ -1,0 +1,147 @@
+// Package datagen reproduces the paper's data generator [1]
+// (github.com/Sklaebe/Approximate-Constraint-Data-Generator): datasets of
+// t tuples with a unique key column and a value column whose exception
+// rate to a given constraint is configurable (Section 6.2).
+//
+//   - Uniqueness (NUC): exceptions are equally distributed into DupValues
+//     distinct values (the paper uses 100K at 10^9 tuples); the remaining
+//     values are unique and differ from the exception values.
+//   - Sorting (NSC): exceptions are randomly chosen positions; all
+//     remaining values form a sorted sequence in ascending order.
+//
+// Exceptions are randomly placed. Generation is deterministic per seed.
+package datagen
+
+import (
+	"math/rand"
+
+	"patchindex/internal/storage"
+)
+
+// Config parameterizes a generated dataset.
+type Config struct {
+	// Rows is the number of tuples t.
+	Rows int
+	// ExceptionRate is the paper's e: the fraction of tuples violating
+	// the constraint.
+	ExceptionRate float64
+	// DupValues is the number of distinct values exceptions are spread
+	// over for the uniqueness constraint (paper: 100K). Default
+	// max(2, Rows/10000).
+	DupValues int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+func (c Config) dupValues() int {
+	if c.DupValues > 0 {
+		return c.DupValues
+	}
+	d := c.Rows / 10000
+	if d < 2 {
+		d = 2
+	}
+	return d
+}
+
+// exceptionPositions returns k distinct random positions in [0, n).
+func exceptionPositions(rng *rand.Rand, n, k int) []int {
+	return rng.Perm(n)[:k]
+}
+
+// NUCColumn generates a value column with exception rate e to the
+// uniqueness constraint: e*Rows tuples share DupValues values (each
+// occurring at least twice when possible), the rest are unique.
+func NUCColumn(cfg Config) []int64 {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := cfg.Rows
+	nExc := int(cfg.ExceptionRate * float64(n))
+	if nExc == 1 {
+		nExc = 2 // a single "duplicate" would be unique
+	}
+	dup := cfg.dupValues()
+	if nExc > 0 && nExc < 2*dup {
+		// Ensure every used duplicate value occurs at least twice.
+		dup = nExc / 2
+		if dup < 1 {
+			dup = 1
+		}
+	}
+	out := make([]int64, n)
+	exc := exceptionPositions(rng, n, nExc)
+	isExc := make([]bool, n)
+	for i, pos := range exc {
+		// Equally distributed into the duplicate values.
+		out[pos] = int64(i % dup)
+		isExc[pos] = true
+	}
+	// Unique values start above the duplicate value range.
+	next := int64(dup)
+	for i := range out {
+		if !isExc[i] {
+			out[i] = next
+			next++
+		}
+	}
+	return out
+}
+
+// NSCColumn generates a value column with exception rate e to the
+// ascending sorting constraint: non-exception positions hold an
+// ascending sequence, exception positions hold random values.
+func NSCColumn(cfg Config) []int64 {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := cfg.Rows
+	nExc := int(cfg.ExceptionRate * float64(n))
+	out := make([]int64, n)
+	isExc := make([]bool, n)
+	for _, pos := range exceptionPositions(rng, n, nExc) {
+		isExc[pos] = true
+	}
+	next := int64(0)
+	for i := range out {
+		if isExc[i] {
+			// A random value; drawing from the full key domain makes it
+			// unlikely to continue the sorted run.
+			out[i] = rng.Int63n(int64(n) + 1)
+		} else {
+			out[i] = next
+			next++
+		}
+	}
+	return out
+}
+
+// KeyValueRows assembles the paper's two-column rows (unique key column,
+// generated value column).
+func KeyValueRows(vals []int64) []storage.Row {
+	rows := make([]storage.Row, len(vals))
+	for i, v := range vals {
+		rows[i] = storage.Row{storage.I64(int64(i)), storage.I64(v)}
+	}
+	return rows
+}
+
+// KeyValueSchema is the schema of KeyValueRows.
+func KeyValueSchema() storage.Schema {
+	return storage.Schema{
+		{Name: "key", Kind: storage.KindInt64},
+		{Name: "val", Kind: storage.KindInt64},
+	}
+}
+
+// InsertBatch generates rows to insert for the update experiments
+// (Section 6.2.4): keys continue the key sequence, values follow the
+// same distribution shape with the given exception rate.
+func InsertBatch(startKey int64, n int, exceptionRate float64, seed int64) []storage.Row {
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([]storage.Row, n)
+	for i := range rows {
+		v := startKey + int64(i)
+		if rng.Float64() < exceptionRate {
+			v = rng.Int63n(startKey + 1)
+		}
+		rows[i] = storage.Row{storage.I64(startKey + int64(i)), storage.I64(v)}
+	}
+	return rows
+}

@@ -1,0 +1,129 @@
+package datagen
+
+import (
+	"testing"
+
+	"patchindex/internal/core"
+)
+
+func TestNUCColumnExceptionRate(t *testing.T) {
+	for _, e := range []float64{0, 0.1, 0.5, 1.0} {
+		cfg := Config{Rows: 10000, ExceptionRate: e, DupValues: 50, Seed: 1}
+		vals := NUCColumn(cfg)
+		if len(vals) != 10000 {
+			t.Fatalf("e=%f: %d values", e, len(vals))
+		}
+		// Measured exception rate (all occurrences of duplicated values)
+		// must track the configured rate closely.
+		got := 1 - core.MatchRateNUC(vals)
+		if got < e-0.01 || got > e+0.01 {
+			t.Fatalf("e=%f: measured exception rate %f", e, got)
+		}
+	}
+}
+
+func TestNUCColumnUniquesDifferFromExceptions(t *testing.T) {
+	cfg := Config{Rows: 5000, ExceptionRate: 0.3, DupValues: 20, Seed: 2}
+	vals := NUCColumn(cfg)
+	counts := map[int64]int{}
+	for _, v := range vals {
+		counts[v]++
+	}
+	// Unique values (count 1) must never collide with duplicate values.
+	for v, c := range counts {
+		if c == 1 && v < 20 {
+			t.Fatalf("unique value %d lies in the duplicate range", v)
+		}
+	}
+}
+
+func TestNUCColumnDeterministic(t *testing.T) {
+	cfg := Config{Rows: 1000, ExceptionRate: 0.2, Seed: 3}
+	a := NUCColumn(cfg)
+	b := NUCColumn(cfg)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("generation not deterministic")
+		}
+	}
+}
+
+func TestNSCColumnExceptionRate(t *testing.T) {
+	for _, e := range []float64{0, 0.1, 0.5, 0.9} {
+		cfg := Config{Rows: 10000, ExceptionRate: e, Seed: 4}
+		vals := NSCColumn(cfg)
+		got := 1 - core.MatchRateNSC(vals)
+		// Random exception values can accidentally extend the sorted
+		// run, so the measured rate may be slightly below e.
+		if got > e+0.01 || got < e-0.1 {
+			t.Fatalf("e=%f: measured exception rate %f", e, got)
+		}
+	}
+}
+
+func TestNSCColumnZeroExceptionsSorted(t *testing.T) {
+	vals := NSCColumn(Config{Rows: 1000, Seed: 5})
+	for i := 1; i < len(vals); i++ {
+		if vals[i] < vals[i-1] {
+			t.Fatal("e=0 column not sorted")
+		}
+	}
+}
+
+func TestKeyValueRows(t *testing.T) {
+	rows := KeyValueRows([]int64{7, 8})
+	if len(rows) != 2 || rows[0][0].I != 0 || rows[1][1].I != 8 {
+		t.Fatalf("rows = %v", rows)
+	}
+	schema := KeyValueSchema()
+	if schema.ColumnIndex("key") != 0 || schema.ColumnIndex("val") != 1 {
+		t.Fatal("schema wrong")
+	}
+}
+
+func TestInsertBatch(t *testing.T) {
+	rows := InsertBatch(1000, 50, 0.5, 6)
+	if len(rows) != 50 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for i, r := range rows {
+		if r[0].I != 1000+int64(i) {
+			t.Fatal("keys must continue the sequence")
+		}
+	}
+}
+
+func TestPublicBIHistogramShape(t *testing.T) {
+	sets := GeneratePublicBI(2000, 7)
+	if len(sets) != 3 {
+		t.Fatalf("%d datasets", len(sets))
+	}
+	byName := map[string]PublicBIDataset{}
+	for _, ds := range sets {
+		byName[ds.Name] = ds
+	}
+	census := byName["USCensus_1"]
+	if len(census.Columns) != 15 {
+		t.Fatalf("USCensus_1 has %d NSC columns, want 15 (paper)", len(census.Columns))
+	}
+	if census.TotalColumns < 500 {
+		t.Fatalf("USCensus_1 total columns = %d, want > 500", census.TotalColumns)
+	}
+	// Nine columns match the sorting constraint with over 60% of tuples.
+	h := Histogram(census, 10)
+	over60 := 0
+	for b := 6; b < 10; b++ {
+		over60 += h[b]
+	}
+	if over60 != 9 {
+		t.Fatalf("USCensus_1 columns over 60%% = %d, want 9 (hist %v)", over60, h)
+	}
+	// The NUC workbooks have many nearly perfectly unique columns.
+	for _, name := range []string{"IGlocations2_1", "IUBlibrary_1"} {
+		ds := byName[name]
+		h := Histogram(ds, 10)
+		if h[9] < 3 {
+			t.Fatalf("%s: top bucket = %d, want >= 3 (hist %v)", name, h[9], h)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package engine
+
+import (
+	"fmt"
+
+	"patchindex/internal/bloom"
+	"patchindex/internal/core"
+	"patchindex/internal/storage"
+)
+
+// Approximate query processing (the paper's future-work Section 7): the
+// PatchIndex holds information valid for the major part of the data, so
+// some query answers can be bounded from index statistics alone, without
+// touching the table.
+
+// ApproxDistinctBounds returns lower and upper bounds on the number of
+// distinct values in a NUC-indexed column, computed in O(partitions)
+// from index statistics: non-patch tuples are globally unique and
+// disjoint from patch values, so they all count; the patches contribute
+// between one distinct value (all exceptions share a value) and one per
+// patch (every exception value singular after deletes eroded its
+// partners).
+func (t *Table) ApproxDistinctBounds(column string) (lo, hi uint64, err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	idx := t.indexes[column]
+	if idx == nil {
+		return 0, 0, fmt.Errorf("engine: no PatchIndex on %s.%s", t.name, column)
+	}
+	if idx[0].ConstraintKind() != core.NearlyUnique {
+		return 0, 0, fmt.Errorf("engine: ApproxDistinctBounds requires a NUC index")
+	}
+	var rows, patches uint64
+	for _, x := range idx {
+		rows += x.Rows()
+		patches += x.NumPatches()
+	}
+	nonPatch := rows - patches
+	lo = nonPatch
+	if patches > 0 {
+		lo++
+	}
+	return lo, nonPatch + patches, nil
+}
+
+// SortednessRatio returns the fraction of tuples inside the maintained
+// sorted run of a NSC-indexed column — an O(partitions) data quality
+// indicator.
+func (t *Table) SortednessRatio(column string) (float64, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	idx := t.indexes[column]
+	if idx == nil {
+		return 0, fmt.Errorf("engine: no PatchIndex on %s.%s", t.name, column)
+	}
+	if idx[0].ConstraintKind() != core.NearlySorted {
+		return 0, fmt.Errorf("engine: SortednessRatio requires a NSC index")
+	}
+	var rows, patches uint64
+	for _, x := range idx {
+		rows += x.Rows()
+		patches += x.NumPatches()
+	}
+	if rows == 0 {
+		return 1, nil
+	}
+	return 1 - float64(patches)/float64(rows), nil
+}
+
+// Bloom-filter-assisted update discovery (future-work Section 7). A
+// per-partition Bloom filter over a NUC column's values lets the insert
+// handler skip the collision join entirely when no inserted value can
+// possibly collide — the common case for mostly-unique columns. The
+// filter is add-only, so it stays a superset of the column under deletes
+// (false positives only trigger a redundant join; false negatives cannot
+// occur).
+
+// EnableBloomFilter builds per-partition Bloom filters for the
+// NUC-indexed BIGINT column, used to skip collision joins on insert and
+// modify.
+func (t *Table) EnableBloomFilter(column string, fpRate float64) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	idx := t.indexes[column]
+	if idx == nil || idx[0].ConstraintKind() != core.NearlyUnique {
+		return fmt.Errorf("engine: EnableBloomFilter requires a NUC PatchIndex on %s.%s", t.name, column)
+	}
+	col := t.store.Schema().MustColumnIndex(column)
+	if t.store.Schema()[col].Kind != storage.KindInt64 {
+		return fmt.Errorf("engine: Bloom filters support BIGINT columns only")
+	}
+	if t.blooms == nil {
+		t.blooms = make(map[string][]*bloom.Filter)
+	}
+	filters := make([]*bloom.Filter, t.store.NumPartitions())
+	for p := range filters {
+		vals := t.viewLocked(p).MaterializeInt64(col)
+		f := bloom.New(len(vals)*2, fpRate)
+		for _, v := range vals {
+			f.Add(v)
+		}
+		filters[p] = f
+	}
+	t.blooms[column] = filters
+	return nil
+}
+
+// DisableBloomFilter drops the filters on column.
+func (t *Table) DisableBloomFilter(column string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.blooms, column)
+}
+
+// BloomSkips reports how many collision joins the filters avoided.
+func (t *Table) BloomSkips(column string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.bloomSkips[column]
+}
+
+// mayCollide reports whether any of the changed values can collide with
+// existing column values (or with each other), according to the Bloom
+// filters. Returns true (conservatively) when no filter is installed.
+func (t *Table) mayCollide(column string, vals []int64) bool {
+	filters := t.blooms[column]
+	if filters == nil {
+		return true
+	}
+	seen := make(map[int64]struct{}, len(vals))
+	for _, v := range vals {
+		if _, dup := seen[v]; dup {
+			return true // duplicate within the change set
+		}
+		seen[v] = struct{}{}
+		for _, f := range filters {
+			if f.MayContain(v) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// bloomAddPart registers values inserted into one partition.
+func (t *Table) bloomAddPart(column string, part int, vals []int64) {
+	filters := t.blooms[column]
+	if filters == nil {
+		return
+	}
+	for _, v := range vals {
+		filters[part].Add(v)
+	}
+}

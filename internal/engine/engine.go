@@ -1,0 +1,313 @@
+// Package engine ties the substrates together into a small analytical
+// database: partitioned columnar tables with positional-delta updates,
+// PatchIndex DDL, update queries that drive the index maintenance of
+// Section 5, and query entry points that apply the planner's PatchIndex
+// rewrites under the cost model.
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"patchindex/internal/bloom"
+	"patchindex/internal/core"
+	"patchindex/internal/pdt"
+	"patchindex/internal/plan"
+	"patchindex/internal/storage"
+)
+
+// Database is a named collection of tables. All DDL/DML entry points are
+// safe for concurrent use; per-table updates serialize on the table lock
+// (queries inside one update query run single-threaded per partition,
+// mirroring the paper's snapshot-isolated engine).
+//
+// Query execution happens against views handed out under the table lock
+// but consumed after it is released; running a query concurrently with
+// updates on the same table therefore requires external synchronization.
+// The paper's host system provides snapshot isolation for this case
+// (Section 5.4); a full MVCC layer is out of scope here, and the
+// fine-grained concurrency properties of the underlying structure are
+// exercised directly on bitmap.Concurrent instead.
+type Database struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+
+	// AutoCheckpoint propagates positional deltas into base storage at
+	// the end of every update query (default true). Disabling it keeps
+	// updates purely in-memory, as the PDT-based system does between
+	// checkpoints.
+	AutoCheckpoint bool
+}
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database {
+	return &Database{tables: make(map[string]*Table), AutoCheckpoint: true}
+}
+
+// Table is a partitioned table plus its pending deltas and PatchIndexes.
+type Table struct {
+	mu    sync.Mutex
+	name  string
+	store *storage.Table
+	delta []*pdt.Delta
+
+	// indexes[column] holds one PatchIndex per partition.
+	indexes map[string][]*core.Index
+
+	// blooms[column] holds optional per-partition Bloom filters over a
+	// NUC column's values (see EnableBloomFilter); bloomSkips counts the
+	// collision joins they avoided.
+	blooms     map[string][]*bloom.Filter
+	bloomSkips map[string]int
+}
+
+// CreateTable creates a table with the given schema and partition count.
+func (db *Database) CreateTable(name string, schema storage.Schema, partitions int) (*Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.tables[name]; ok {
+		return nil, fmt.Errorf("engine: table %q already exists", name)
+	}
+	st := storage.NewTable(name, schema, partitions)
+	t := &Table{name: name, store: st, indexes: make(map[string][]*core.Index)}
+	t.delta = make([]*pdt.Delta, partitions)
+	for p := range t.delta {
+		t.delta[p] = pdt.NewDelta(schema, 0)
+	}
+	db.tables[name] = t
+	return t, nil
+}
+
+// Table returns the named table, or nil.
+func (db *Database) Table(name string) *Table {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.tables[name]
+}
+
+// MustTable returns the named table or panics.
+func (db *Database) MustTable(name string) *Table {
+	t := db.Table(name)
+	if t == nil {
+		panic(fmt.Sprintf("engine: unknown table %q", name))
+	}
+	return t
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table schema.
+func (t *Table) Schema() storage.Schema { return t.store.Schema() }
+
+// Store exposes the underlying storage table (comparators like SortKey
+// and JoinIndex operate on it directly).
+func (t *Table) Store() *storage.Table { return t.store }
+
+// NumPartitions returns the partition count.
+func (t *Table) NumPartitions() int { return t.store.NumPartitions() }
+
+// NumRows returns the logical row count including pending deltas.
+func (t *Table) NumRows() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var n int
+	for p := range t.delta {
+		n += t.viewLocked(p).NumRows()
+	}
+	return n
+}
+
+// View returns the merged read view of partition p.
+func (t *Table) View(p int) *pdt.View {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.viewLocked(p)
+}
+
+func (t *Table) viewLocked(p int) *pdt.View {
+	return pdt.NewView(t.store.Partition(p), t.delta[p])
+}
+
+// Views returns the merged read views of all partitions.
+func (t *Table) Views() []*pdt.View {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*pdt.View, t.store.NumPartitions())
+	for p := range out {
+		out[p] = t.viewLocked(p)
+	}
+	return out
+}
+
+// Load bulk-loads rows into base storage in contiguous partition chunks
+// and resets the deltas (initial load path, not an update query).
+func (t *Table) Load(rows []storage.Row) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.store.LoadRows(rows)
+	for p := range t.delta {
+		t.delta[p] = pdt.NewDelta(t.store.Schema(), t.store.Partition(p).NumRows())
+	}
+}
+
+// LoadColumnInt64 bulk-loads a single-column table from a slice,
+// partitioned contiguously — the microbenchmark loader.
+func LoadColumnInt64(t *Table, vals []int64) {
+	rows := make([]storage.Row, len(vals))
+	for i, v := range vals {
+		rows[i] = storage.Row{storage.I64(v)}
+	}
+	t.Load(rows)
+}
+
+// CreatePatchIndex discovers and materializes a PatchIndex on the named
+// column, one index per partition (partition-local and parallel, Section
+// 3.2). For NearlySorted the column must be BIGINT.
+func (t *Table) CreatePatchIndex(column string, constraint core.Constraint, opts core.Options) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	col := t.store.Schema().ColumnIndex(column)
+	if col < 0 {
+		return fmt.Errorf("engine: unknown column %q", column)
+	}
+	kind := t.store.Schema()[col].Kind
+	if constraint == core.NearlySorted && kind != storage.KindInt64 {
+		return fmt.Errorf("engine: NSC requires a BIGINT column, %q is %v", column, kind)
+	}
+	if kind == storage.KindFloat64 {
+		return fmt.Errorf("engine: PatchIndex on DOUBLE column %q is not supported", column)
+	}
+	nparts := t.store.NumPartitions()
+	indexes := make([]*core.Index, nparts)
+	if constraint == core.NearlyUnique {
+		// Uniqueness relies on a global view of the table (Section 5.1):
+		// duplicates across partitions are patches too. Discovery counts
+		// values globally, then builds the partition-local indexes.
+		if kind == storage.KindString {
+			parts := make([][]string, nparts)
+			for p := range parts {
+				parts[p] = t.viewLocked(p).MaterializeString(col)
+			}
+			patchSets := core.GlobalNUCPatchesString(parts)
+			for p := range indexes {
+				indexes[p] = core.New(core.NearlyUnique, uint64(len(parts[p])), patchSets[p], opts)
+			}
+		} else {
+			parts := make([][]int64, nparts)
+			for p := range parts {
+				parts[p] = t.viewLocked(p).MaterializeInt64(col)
+			}
+			patchSets := core.GlobalNUCPatchesInt64(parts)
+			for p := range indexes {
+				indexes[p] = core.New(core.NearlyUnique, uint64(len(parts[p])), patchSets[p], opts)
+			}
+		}
+		t.indexes[column] = indexes
+		return nil
+	}
+	// NSC discovery is partition-local and parallel (Section 3.2): the
+	// sort plan merges per-partition sorted streams, so partition-local
+	// sortedness is exactly the maintained invariant.
+	var wg sync.WaitGroup
+	for p := 0; p < nparts; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			indexes[p] = core.BuildNSC(t.viewLocked(p).MaterializeInt64(col), opts)
+		}(p)
+	}
+	wg.Wait()
+	t.indexes[column] = indexes
+	return nil
+}
+
+// RestorePatchIndexes installs per-partition indexes restored from
+// checkpoints (Section 3.4: after a restart, PatchIndexes are either
+// recreated or read back from a persisted checkpoint). The slice must
+// hold one index per partition.
+func (t *Table) RestorePatchIndexes(column string, indexes []*core.Index) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(indexes) != t.store.NumPartitions() {
+		panic(fmt.Sprintf("engine: RestorePatchIndexes got %d indexes for %d partitions",
+			len(indexes), t.store.NumPartitions()))
+	}
+	t.indexes[column] = indexes
+}
+
+// DropPatchIndex removes the PatchIndex on the named column.
+func (t *Table) DropPatchIndex(column string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.indexes, column)
+}
+
+// PatchIndexes returns the per-partition indexes on column, or nil.
+func (t *Table) PatchIndexes(column string) []*core.Index {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.indexes[column]
+}
+
+// Inputs pairs each partition's view with its PatchIndex on column for
+// the planner.
+func (t *Table) Inputs(column string) []plan.PartitionInput {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	idx := t.indexes[column]
+	out := make([]plan.PartitionInput, t.store.NumPartitions())
+	for p := range out {
+		out[p].View = t.viewLocked(p)
+		if idx != nil {
+			out[p].Index = idx[p]
+		}
+	}
+	return out
+}
+
+// ExceptionRate returns the aggregate exception rate of the PatchIndexes
+// on column.
+func (t *Table) ExceptionRate(column string) float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	idx := t.indexes[column]
+	if idx == nil {
+		return 0
+	}
+	var rows, patches uint64
+	for _, x := range idx {
+		rows += x.Rows()
+		patches += x.NumPatches()
+	}
+	if rows == 0 {
+		return 0
+	}
+	return float64(patches) / float64(rows)
+}
+
+// IndexMemoryBytes sums the memory of the PatchIndexes on column.
+func (t *Table) IndexMemoryBytes(column string) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var n uint64
+	for _, x := range t.indexes[column] {
+		n += x.MemoryBytes()
+	}
+	return n
+}
+
+// Checkpoint propagates all pending deltas into base storage.
+func (t *Table) Checkpoint() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.checkpointLocked()
+}
+
+func (t *Table) checkpointLocked() {
+	for p := range t.delta {
+		if !t.delta[p].Empty() {
+			t.delta[p].Checkpoint(t.store.Partition(p))
+		}
+	}
+}

@@ -1,0 +1,397 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"patchindex/internal/core"
+	"patchindex/internal/exec"
+	"patchindex/internal/storage"
+)
+
+// Update queries (Section 5). Each entry point applies the table change
+// through the positional delta, runs the PatchIndex update handlers of
+// Table 1 for every index on the table, and finally checkpoints the
+// delta when AutoCheckpoint is set. Handling happens immediately after
+// the update, so the materialized constraint information never reaches
+// an inconsistent state.
+
+// changedRef identifies one inserted or modified tuple across the
+// partitioned table, together with its (new) value in the indexed
+// column.
+type changedRef struct {
+	part int
+	rid  uint64
+	val  int64
+}
+
+// encodeRef packs a changedRef into one int64 join payload.
+func encodeRef(part int, rid uint64) int64 { return int64(part)<<40 | int64(rid) }
+
+func decodeRef(enc int64) (part int, rid uint64) {
+	return int(enc >> 40), uint64(enc & (1<<40 - 1))
+}
+
+// Insert appends rows, distributing them over partitions round-robin,
+// and maintains all PatchIndexes:
+//
+//   - NUC: the Fig. 5 insert handling query — scan the inserted tuples
+//     (from the PDT), join them against the table including the inserts,
+//     with dynamic range propagation pruning the table scan, and merge
+//     the rowIDs of both join sides into the patches. Uniqueness relies
+//     on a global view, so the join probes every partition.
+//   - NSC: extend the materialized sorted subsequence with a longest
+//     sorted subsequence of the inserted values; the rest become patches
+//     (partition-local).
+func (db *Database) Insert(table string, rows []storage.Row) error {
+	t := db.MustTable(table)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	nparts := t.store.NumPartitions()
+	perPart := make([][]storage.Row, nparts)
+	for i, r := range rows {
+		p := i % nparts
+		perPart[p] = append(perPart[p], r)
+	}
+	baseRows := make([]int, nparts)
+	for p, prows := range perPart {
+		baseRows[p] = t.viewLocked(p).NumRows()
+		for _, r := range prows {
+			t.delta[p].Insert(r)
+		}
+	}
+	for column, idx := range t.indexes {
+		col := t.store.Schema().MustColumnIndex(column)
+		switch idx[0].ConstraintKind() {
+		case core.NearlySorted:
+			for p, prows := range perPart {
+				if len(prows) == 0 {
+					continue
+				}
+				vals := make([]int64, len(prows))
+				for i, r := range prows {
+					vals[i] = r[col].I
+				}
+				idx[p].HandleInsertNSC(vals)
+			}
+		case core.NearlyUnique:
+			isInt := t.store.Schema()[col].Kind == storage.KindInt64
+			var changed []changedRef
+			var changedVals []int64
+			for p, prows := range perPart {
+				for i := range prows {
+					ref := changedRef{part: p, rid: uint64(baseRows[p] + i)}
+					if isInt {
+						ref.val = prows[i][col].I
+						changedVals = append(changedVals, ref.val)
+					}
+					changed = append(changed, ref)
+				}
+			}
+			if isInt && !t.mayCollide(column, changedVals) {
+				// Bloom filters prove no collision is possible: skip the
+				// join, extend the indexes (future-work optimization).
+				if t.bloomSkips == nil {
+					t.bloomSkips = make(map[string]int)
+				}
+				t.bloomSkips[column]++
+				for p := range idx {
+					idx[p].HandleInsertNUC(len(perPart[p]), core.NUCJoinResult{})
+				}
+			} else {
+				joins, err := t.nucCollisions(col, changed, perPartStrings(perPart, col, t.store.Schema()[col].Kind))
+				if err != nil {
+					return fmt.Errorf("engine: insert handling on %s.%s: %w", table, column, err)
+				}
+				for p := range idx {
+					idx[p].HandleInsertNUC(len(perPart[p]), joins[p])
+				}
+			}
+			if isInt {
+				for p := range perPart {
+					vals := make([]int64, 0, len(perPart[p]))
+					for _, r := range perPart[p] {
+						vals = append(vals, r[col].I)
+					}
+					t.bloomAddPart(column, p, vals)
+				}
+			}
+		}
+	}
+	if db.AutoCheckpoint {
+		t.checkpointLocked()
+	}
+	return nil
+}
+
+func perPartStrings(perPart [][]storage.Row, col int, kind storage.Kind) [][]string {
+	if kind != storage.KindString {
+		return nil
+	}
+	out := make([][]string, len(perPart))
+	for p, rows := range perPart {
+		for _, r := range rows {
+			out[p] = append(out[p], r[col].S)
+		}
+	}
+	return out
+}
+
+// nucCollisions runs the insert/modify handling query of Fig. 5 against
+// every partition: the changed tuples are the build side of a HashJoin
+// whose build phase propagates the changed values as scan ranges onto
+// each partition's table scan (dynamic range propagation); the rowIDs of
+// both join sides are projected through an intermediate result cache and
+// returned per partition. Self-matches (a changed tuple seeing itself)
+// are filtered.
+func (t *Table) nucCollisions(col int, changed []changedRef, changedStrs [][]string) ([]core.NUCJoinResult, error) {
+	nparts := t.store.NumPartitions()
+	out := make([]core.NUCJoinResult, nparts)
+	if len(changed) == 0 {
+		return out, nil
+	}
+	if t.store.Schema()[col].Kind == storage.KindString {
+		t.stringCollisions(col, changedStrs, out)
+		return out, nil
+	}
+
+	buildVals := make([]int64, len(changed))
+	buildEnc := make([]int64, len(changed))
+	for i, c := range changed {
+		buildVals[i] = c.val
+		buildEnc[i] = encodeRef(c.part, c.rid)
+	}
+	buildSchema := storage.Schema{
+		{Name: "v", Kind: storage.KindInt64},
+		{Name: "enc", Kind: storage.KindInt64},
+	}
+	for p := 0; p < nparts; p++ {
+		build := exec.NewVecSource(buildSchema, []exec.Vec{
+			{Kind: storage.KindInt64, I64: buildVals},
+			{Kind: storage.KindInt64, I64: buildEnc},
+		}, nil)
+		tableScan := exec.NewScan(t.viewLocked(p), []int{col})
+		tableScan.SetPruneColumn(col)
+		probe := exec.NewWithRowIDColumn(tableScan, "trid")
+		join := exec.NewHashJoin(probe, build, 0, 0)
+		join.EnableRangePropagation(tableScan, storage.BlockRows)
+
+		cache := exec.NewReuseCache(join)
+		if err := cache.MaterializeNow(); err != nil {
+			return nil, err
+		}
+		load := cache.Load()
+		for {
+			b, err := load.Next()
+			if err != nil {
+				load.Close()
+				return nil, err
+			}
+			if b == nil {
+				break
+			}
+			trids := b.Cols[1].I64 // probe: [value, trid]
+			encs := b.Cols[3].I64  // build: [value, enc]
+			for i := range trids {
+				bp, brid := decodeRef(encs[i])
+				if bp == p && brid == uint64(trids[i]) {
+					continue // a changed tuple matching itself
+				}
+				out[p].TableSide = append(out[p].TableSide, uint64(trids[i]))
+				out[bp].InsertedSide = append(out[bp].InsertedSide, brid)
+			}
+		}
+		load.Close()
+	}
+	return out, nil
+}
+
+// stringCollisions is the string-column variant of the collision query.
+// The executor joins on int64 keys only, so string columns use an
+// equivalent global hash lookup.
+func (t *Table) stringCollisions(col int, changedStrs [][]string, out []core.NUCJoinResult) {
+	nparts := t.store.NumPartitions()
+	type ref struct {
+		part int
+		rid  uint64
+	}
+	byVal := make(map[string][]ref)
+	baseRows := make([]int, nparts)
+	for p := 0; p < nparts; p++ {
+		all := t.viewLocked(p).MaterializeString(col)
+		baseRows[p] = len(all) - len(changedStrs[p])
+		for i, v := range all {
+			byVal[v] = append(byVal[v], ref{part: p, rid: uint64(i)})
+		}
+	}
+	for p := range changedStrs {
+		for i, v := range changedStrs[p] {
+			self := ref{part: p, rid: uint64(baseRows[p] + i)}
+			for _, r := range byVal[v] {
+				if r == self {
+					continue
+				}
+				out[p].InsertedSide = append(out[p].InsertedSide, self.rid)
+				out[r.part].TableSide = append(out[r.part].TableSide, r.rid)
+			}
+		}
+	}
+}
+
+// DeleteRowIDs removes the tuples at the given ascending partition-local
+// rowIDs and maintains all PatchIndexes by dropping their tracking
+// information (Section 5.3) — bulk delete for the bitmap design,
+// decrement compaction for the identifier design.
+func (db *Database) DeleteRowIDs(table string, partition int, rowIDs []uint64) error {
+	t := db.MustTable(table)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.deleteRowIDsLocked(db, partition, rowIDs)
+}
+
+func (t *Table) deleteRowIDsLocked(db *Database, partition int, rowIDs []uint64) error {
+	if len(rowIDs) == 0 {
+		return nil
+	}
+	if !sort.SliceIsSorted(rowIDs, func(i, j int) bool { return rowIDs[i] < rowIDs[j] }) {
+		return fmt.Errorf("engine: delete rowIDs must be sorted")
+	}
+	logical := make([]int, len(rowIDs))
+	for i, r := range rowIDs {
+		logical[i] = int(r)
+	}
+	t.delta[partition].DeleteRows(logical)
+	for _, idx := range t.indexes {
+		idx[partition].HandleDelete(rowIDs)
+	}
+	if db.AutoCheckpoint {
+		t.checkpointLocked()
+	}
+	return nil
+}
+
+// DeleteWhereInt64 deletes all tuples whose value in column satisfies
+// pred, across all partitions, and returns the number of deleted tuples.
+func (db *Database) DeleteWhereInt64(table, column string, pred func(int64) bool) (int, error) {
+	t := db.MustTable(table)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	col := t.store.Schema().MustColumnIndex(column)
+	var total int
+	for p := 0; p < t.store.NumPartitions(); p++ {
+		vals := t.viewLocked(p).MaterializeInt64(col)
+		var rowIDs []uint64
+		for i, v := range vals {
+			if pred(v) {
+				rowIDs = append(rowIDs, uint64(i))
+			}
+		}
+		if len(rowIDs) == 0 {
+			continue
+		}
+		total += len(rowIDs)
+		if err := t.deleteRowIDsLocked(db, p, rowIDs); err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// Modify overwrites column values at the given ascending partition-local
+// rowIDs and maintains all PatchIndexes (Section 5.2):
+//
+//   - NSC on the modified column: all modified tuples become patches.
+//   - NUC on the modified column: the same collision join as insert
+//     handling, over the new values and against all partitions (no
+//     bitmap reallocation — the cardinality is unchanged).
+//   - Indexes on other columns are untouched (their values didn't
+//     change).
+func (db *Database) Modify(table string, partition int, rowIDs []uint64, column string, values []storage.Value) error {
+	t := db.MustTable(table)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(rowIDs) != len(values) {
+		return fmt.Errorf("engine: Modify rowIDs/values length mismatch")
+	}
+	col := t.store.Schema().MustColumnIndex(column)
+	for i, r := range rowIDs {
+		t.delta[partition].Modify(int(r), col, values[i])
+	}
+	for idxCol, idx := range t.indexes {
+		if idxCol != column {
+			continue
+		}
+		switch idx[0].ConstraintKind() {
+		case core.NearlySorted:
+			idx[partition].HandleModifyNSC(rowIDs)
+		case core.NearlyUnique:
+			isInt := t.store.Schema()[col].Kind == storage.KindInt64
+			changed := make([]changedRef, len(rowIDs))
+			changedStrs := make([][]string, t.store.NumPartitions())
+			var changedVals []int64
+			for i, r := range rowIDs {
+				changed[i] = changedRef{part: partition, rid: r, val: values[i].I}
+				if isInt {
+					changedVals = append(changedVals, values[i].I)
+				} else {
+					changedStrs[partition] = append(changedStrs[partition], values[i].S)
+				}
+			}
+			if isInt && !t.mayCollide(column, changedVals) {
+				if t.bloomSkips == nil {
+					t.bloomSkips = make(map[string]int)
+				}
+				t.bloomSkips[column]++
+			} else {
+				joins, err := t.nucModifyCollisions(col, changed, changedStrs)
+				if err != nil {
+					return fmt.Errorf("engine: modify handling on %s.%s: %w", table, column, err)
+				}
+				for p := range idx {
+					idx[p].HandleModifyNUC(joins[p])
+				}
+			}
+			if isInt {
+				t.bloomAddPart(column, partition, changedVals)
+			}
+		}
+	}
+	if db.AutoCheckpoint {
+		t.checkpointLocked()
+	}
+	return nil
+}
+
+// nucModifyCollisions mirrors nucCollisions for modified tuples. String
+// columns cannot reuse stringCollisions' positional assumptions (the
+// changed tuples are not at the end), so they use a direct lookup.
+func (t *Table) nucModifyCollisions(col int, changed []changedRef, changedStrs [][]string) ([]core.NUCJoinResult, error) {
+	if t.store.Schema()[col].Kind != storage.KindString {
+		return t.nucCollisions(col, changed, nil)
+	}
+	nparts := t.store.NumPartitions()
+	out := make([]core.NUCJoinResult, nparts)
+	type ref struct {
+		part int
+		rid  uint64
+	}
+	byVal := make(map[string][]ref)
+	for p := 0; p < nparts; p++ {
+		for i, v := range t.viewLocked(p).MaterializeString(col) {
+			byVal[v] = append(byVal[v], ref{part: p, rid: uint64(i)})
+		}
+	}
+	for _, c := range changed {
+		v := t.viewLocked(c.part).Get(int(c.rid), col).S
+		self := ref{part: c.part, rid: c.rid}
+		for _, r := range byVal[v] {
+			if r == self {
+				continue
+			}
+			out[c.part].InsertedSide = append(out[c.part].InsertedSide, c.rid)
+			out[r.part].TableSide = append(out[r.part].TableSide, r.rid)
+		}
+	}
+	return out, nil
+}

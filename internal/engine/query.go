@@ -1,0 +1,150 @@
+package engine
+
+import (
+	"fmt"
+
+	"patchindex/internal/exec"
+	"patchindex/internal/plan"
+	"patchindex/internal/storage"
+)
+
+// PlanMode selects how a query entry point plans.
+type PlanMode int
+
+const (
+	// PlanAuto applies the PatchIndex rewrite when the cost model favors
+	// it (Section 3.5) and an index exists.
+	PlanAuto PlanMode = iota
+	// PlanReference forces the unoptimized plan.
+	PlanReference
+	// PlanPatchIndex forces the PatchIndex plan (requires an index).
+	PlanPatchIndex
+)
+
+// QueryOptions tune the query entry points.
+type QueryOptions struct {
+	Mode PlanMode
+	// ZeroBranchPruning drops provably empty patch subtrees (Sec. 6.3).
+	ZeroBranchPruning bool
+	// Parallel runs per-partition subtrees concurrently.
+	Parallel bool
+}
+
+func (t *Table) planStats(column string) (rows, patches uint64, indexed bool) {
+	idx := t.indexes[column]
+	if idx == nil {
+		return 0, 0, false
+	}
+	for _, x := range idx {
+		rows += x.Rows()
+		patches += x.NumPatches()
+	}
+	return rows, patches, true
+}
+
+// Distinct returns an operator computing DISTINCT(column).
+func (db *Database) Distinct(table, column string, opts QueryOptions) (exec.Operator, error) {
+	t := db.MustTable(table)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	col := t.store.Schema().ColumnIndex(column)
+	if col < 0 {
+		return nil, fmt.Errorf("engine: unknown column %q", column)
+	}
+	rows, patches, indexed := t.planStats(column)
+	usePI := indexed
+	switch opts.Mode {
+	case PlanReference:
+		usePI = false
+	case PlanAuto:
+		usePI = indexed && plan.UsePatchIndexForDistinct(rows, patches)
+	case PlanPatchIndex:
+		if !indexed {
+			return nil, fmt.Errorf("engine: no PatchIndex on %s.%s", table, column)
+		}
+	}
+	inputs := t.inputsLocked(column)
+	popts := plan.Options{ZeroBranchPruning: opts.ZeroBranchPruning, Parallel: opts.Parallel}
+	if usePI {
+		return plan.Distinct(inputs, col, popts), nil
+	}
+	return plan.DistinctReference(inputs, col, popts), nil
+}
+
+// SortQuery returns an operator producing column fully sorted.
+func (db *Database) SortQuery(table, column string, desc bool, opts QueryOptions) (exec.Operator, error) {
+	t := db.MustTable(table)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	col := t.store.Schema().ColumnIndex(column)
+	if col < 0 {
+		return nil, fmt.Errorf("engine: unknown column %q", column)
+	}
+	rows, patches, indexed := t.planStats(column)
+	usePI := indexed
+	switch opts.Mode {
+	case PlanReference:
+		usePI = false
+	case PlanAuto:
+		usePI = indexed && plan.UsePatchIndexForSort(rows, patches)
+	case PlanPatchIndex:
+		if !indexed {
+			return nil, fmt.Errorf("engine: no PatchIndex on %s.%s", table, column)
+		}
+	}
+	inputs := t.inputsLocked(column)
+	popts := plan.Options{ZeroBranchPruning: opts.ZeroBranchPruning, Parallel: opts.Parallel}
+	if usePI {
+		return plan.Sort(inputs, col, desc, popts), nil
+	}
+	return plan.SortReference(inputs, col, desc, popts), nil
+}
+
+func (t *Table) inputsLocked(column string) []plan.PartitionInput {
+	idx := t.indexes[column]
+	out := make([]plan.PartitionInput, t.store.NumPartitions())
+	for p := range out {
+		out[p].View = t.viewLocked(p)
+		if idx != nil {
+			out[p].Index = idx[p]
+		}
+	}
+	return out
+}
+
+// ScanAll returns an operator scanning the given columns of every
+// partition (unioned).
+func (t *Table) ScanAll(columns ...string) exec.Operator {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cols := make([]int, len(columns))
+	for i, c := range columns {
+		cols[i] = t.store.Schema().MustColumnIndex(c)
+	}
+	parts := make([]exec.Operator, t.store.NumPartitions())
+	for p := range parts {
+		parts[p] = exec.NewScan(t.viewLocked(p), cols)
+	}
+	if len(parts) == 1 {
+		return parts[0]
+	}
+	return exec.NewUnion(parts...)
+}
+
+// CollectInt64 drains a single-column BIGINT operator into a slice.
+func CollectInt64(op exec.Operator) ([]int64, error) {
+	batches, err := exec.Drain(op)
+	if err != nil {
+		return nil, err
+	}
+	var out []int64
+	for _, b := range batches {
+		out = append(out, b.Cols[0].I64...)
+	}
+	return out, nil
+}
+
+// MustKind returns the kind of the named column.
+func (t *Table) MustKind(column string) storage.Kind {
+	return t.Schema()[t.Schema().MustColumnIndex(column)].Kind
+}

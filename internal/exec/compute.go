@@ -1,0 +1,65 @@
+package exec
+
+import "patchindex/internal/storage"
+
+// Compute appends a derived column to its child's output, evaluated
+// row-at-a-time (e.g. l_extendedprice * (1 - l_discount) in TPC-H Q3).
+type Compute struct {
+	child  Operator
+	schema storage.Schema
+	kind   storage.Kind
+	fnF    func(b *Batch, i int) float64
+	fnI    func(b *Batch, i int) int64
+	out    *Batch
+}
+
+// NewComputeFloat64 appends a DOUBLE column named name computed by fn.
+func NewComputeFloat64(child Operator, name string, fn func(b *Batch, i int) float64) *Compute {
+	schema := append(storage.Schema{}, child.Schema()...)
+	schema = append(schema, storage.ColumnDef{Name: name, Kind: storage.KindFloat64})
+	return &Compute{child: child, schema: schema, kind: storage.KindFloat64, fnF: fn}
+}
+
+// NewComputeInt64 appends a BIGINT column named name computed by fn.
+func NewComputeInt64(child Operator, name string, fn func(b *Batch, i int) int64) *Compute {
+	schema := append(storage.Schema{}, child.Schema()...)
+	schema = append(schema, storage.ColumnDef{Name: name, Kind: storage.KindInt64})
+	return &Compute{child: child, schema: schema, kind: storage.KindInt64, fnI: fn}
+}
+
+// Schema implements Operator.
+func (c *Compute) Schema() storage.Schema { return c.schema }
+
+// Next implements Operator.
+func (c *Compute) Next() (*Batch, error) {
+	in, err := c.child.Next()
+	if err != nil || in == nil {
+		return nil, err
+	}
+	if c.out == nil {
+		c.out = &Batch{Schema: c.schema, Cols: make([]Vec, len(c.schema))}
+	}
+	copy(c.out.Cols, in.Cols)
+	last := &c.out.Cols[len(c.schema)-1]
+	last.Kind = c.kind
+	n := in.Len()
+	if c.kind == storage.KindFloat64 {
+		last.F64 = last.F64[:0]
+		for i := 0; i < n; i++ {
+			last.F64 = append(last.F64, c.fnF(in, i))
+		}
+	} else {
+		last.I64 = last.I64[:0]
+		for i := 0; i < n; i++ {
+			last.I64 = append(last.I64, c.fnI(in, i))
+		}
+	}
+	c.out.RowIDs = in.RowIDs
+	return c.out, nil
+}
+
+// Close implements Operator.
+func (c *Compute) Close() {
+	c.child.Close()
+	c.out = nil
+}

@@ -1,0 +1,144 @@
+package exec
+
+import (
+	"sync"
+
+	"patchindex/internal/storage"
+)
+
+// WithRowIDColumn appends the child's rowIDs as an extra BIGINT column —
+// used by the insert handling query, which joins on values but needs the
+// rowIDs of both sides in its output.
+type WithRowIDColumn struct {
+	child  Operator
+	schema storage.Schema
+	out    *Batch
+}
+
+// NewWithRowIDColumn appends a rowID column named name to child's schema.
+func NewWithRowIDColumn(child Operator, name string) *WithRowIDColumn {
+	schema := append(storage.Schema{}, child.Schema()...)
+	schema = append(schema, storage.ColumnDef{Name: name, Kind: storage.KindInt64})
+	return &WithRowIDColumn{child: child, schema: schema}
+}
+
+// Schema implements Operator.
+func (w *WithRowIDColumn) Schema() storage.Schema { return w.schema }
+
+// Next implements Operator.
+func (w *WithRowIDColumn) Next() (*Batch, error) {
+	in, err := w.child.Next()
+	if err != nil || in == nil {
+		return nil, err
+	}
+	if in.RowIDs == nil {
+		panic("exec: WithRowIDColumn requires rowIDs from its child")
+	}
+	if w.out == nil {
+		w.out = &Batch{Schema: w.schema, Cols: make([]Vec, len(w.schema))}
+	}
+	copy(w.out.Cols, in.Cols)
+	rid := &w.out.Cols[len(w.schema)-1]
+	rid.Kind = storage.KindInt64
+	rid.I64 = rid.I64[:0]
+	for _, r := range in.RowIDs {
+		rid.I64 = append(rid.I64, int64(r))
+	}
+	w.out.RowIDs = in.RowIDs
+	return w.out, nil
+}
+
+// Close implements Operator.
+func (w *WithRowIDColumn) Close() {
+	w.child.Close()
+	w.out = nil
+}
+
+// Gather runs its children concurrently (one goroutine per child) and
+// funnels their batches into one unordered stream. It implements the
+// partition-parallel execution of the paper's system: per-partition
+// subtrees run in parallel and their results are combined. RowIDs are
+// dropped, since rowIDs are partition-local.
+type Gather struct {
+	children []Operator
+
+	started bool
+	ch      chan *Batch
+	errCh   chan error
+	wg      sync.WaitGroup
+	err     error
+}
+
+// NewGather returns a parallel union of the children. Children must
+// share a schema.
+func NewGather(children ...Operator) *Gather {
+	if len(children) == 0 {
+		panic("exec: Gather needs at least one child")
+	}
+	return &Gather{children: children}
+}
+
+// Schema implements Operator.
+func (g *Gather) Schema() storage.Schema { return g.children[0].Schema() }
+
+func (g *Gather) open() {
+	g.started = true
+	g.ch = make(chan *Batch, len(g.children))
+	g.errCh = make(chan error, len(g.children))
+	for _, c := range g.children {
+		g.wg.Add(1)
+		go func(op Operator) {
+			defer g.wg.Done()
+			for {
+				b, err := op.Next()
+				if err != nil {
+					g.errCh <- err
+					return
+				}
+				if b == nil {
+					return
+				}
+				cp := b.Clone()
+				cp.RowIDs = nil
+				g.ch <- cp
+			}
+		}(c)
+	}
+	go func() {
+		g.wg.Wait()
+		close(g.ch)
+	}()
+}
+
+// Next implements Operator.
+func (g *Gather) Next() (*Batch, error) {
+	if !g.started {
+		g.open()
+	}
+	if g.err != nil {
+		return nil, g.err
+	}
+	b, ok := <-g.ch
+	if !ok {
+		select {
+		case err := <-g.errCh:
+			g.err = err
+			return nil, err
+		default:
+			return nil, nil
+		}
+	}
+	return b, nil
+}
+
+// Close implements Operator.
+func (g *Gather) Close() {
+	if g.started {
+		// Drain so child goroutines can finish.
+		for range g.ch {
+		}
+	}
+	for _, c := range g.children {
+		c.Close()
+	}
+}

@@ -1,0 +1,86 @@
+package exec
+
+import "patchindex/internal/storage"
+
+// Reuse implements intermediate result caching (Section 5): the
+// ReuseCache operator materializes its child's result in main memory the
+// first time it is drained; ReuseLoad operators replay the cached result
+// without recomputation. The PatchIndex optimizations buffer the shared
+// subtree "X" this way instead of computing it twice, and the insert
+// handling query caches the join result to project both sides' rowIDs.
+
+// Cached is a materialized intermediate result shared by ReuseLoad
+// readers.
+type Cached struct {
+	schema storage.Schema
+	data   *Batch
+	filled bool
+	failed error // sticky materialization error
+	child  Operator
+}
+
+// NewReuseCache wraps child; the result is materialized on first use.
+func NewReuseCache(child Operator) *Cached {
+	return &Cached{schema: child.Schema(), child: child}
+}
+
+// MaterializeNow eagerly drains the child into the cache.
+func (c *Cached) MaterializeNow() error { return c.fill() }
+
+func (c *Cached) fill() error {
+	if c.filled {
+		return nil
+	}
+	if c.failed != nil {
+		return c.failed
+	}
+	data, err := materializeAll(c.child)
+	c.child.Close()
+	if err != nil {
+		c.failed = err
+		return err
+	}
+	c.data = data
+	c.filled = true
+	return nil
+}
+
+// Rows returns the number of cached tuples (materializing if needed).
+func (c *Cached) Rows() (int, error) {
+	if err := c.fill(); err != nil {
+		return 0, err
+	}
+	return c.data.Len(), nil
+}
+
+// Load returns a fresh reader over the cached result (a ReuseLoad
+// operator). Multiple loads replay the same materialization.
+func (c *Cached) Load() Operator { return &reuseLoad{cache: c} }
+
+type reuseLoad struct {
+	cache *Cached
+	pos   int
+}
+
+func (r *reuseLoad) Schema() storage.Schema { return r.cache.schema }
+
+func (r *reuseLoad) Next() (*Batch, error) {
+	if err := r.cache.fill(); err != nil {
+		return nil, err
+	}
+	n := r.cache.data.Len()
+	if r.pos >= n {
+		return nil, nil
+	}
+	end := r.pos + BatchSize
+	if end > n {
+		end = n
+	}
+	// Zero-copy view into the materialized result: the cache is
+	// immutable once filled.
+	out := r.cache.data.SliceView(r.pos, end)
+	r.pos = end
+	return out, nil
+}
+
+func (r *reuseLoad) Close() {}

@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+
+	"patchindex/internal/bitmap"
+)
+
+// RunFig6 reproduces Fig. 6: bulk-delete runtime over shard size for the
+// parallel and the parallel+vectorized implementation, plus the memory
+// overhead of sharding. The paper finds a clear minimum at 2^14 bits and
+// a 0.39% overhead there.
+func RunFig6(w io.Writer, s Scale) {
+	header(w, "Fig. 6", "sharded bitmap bulk delete runtime and memory overhead vs shard size")
+	fmt.Fprintf(w, "bitmap bits=%d, bulk delete=%d positions\n", s.BitmapBits, s.BitmapDeletes)
+	fmt.Fprintf(w, "%-12s %16s %16s %14s\n", "shard_bits", "parallel[ms]", "par+vect[ms]", "overhead[%]")
+
+	positions := randomPositions(s.BitmapBits, s.BitmapDeletes, 1)
+	for shard := uint64(1 << 8); shard <= 1<<19; shard <<= 1 {
+		var tPar, tVec time.Duration
+		{
+			bm := bitmap.NewSharded(s.BitmapBits, shard)
+			bm.SetVectorized(false)
+			pos := append([]uint64(nil), positions...)
+			tPar = timeIt(func() { bm.BulkDelete(pos) })
+		}
+		var overhead float64
+		{
+			bm := bitmap.NewSharded(s.BitmapBits, shard)
+			pos := append([]uint64(nil), positions...)
+			tVec = timeIt(func() { bm.BulkDelete(pos) })
+			overhead = bm.OverheadPercent()
+		}
+		fmt.Fprintf(w, "2^%-10d %16.2f %16.2f %14.4f\n",
+			log2u(shard), ms(tPar), ms(tVec), overhead)
+	}
+}
+
+// RunTable2 reproduces Table 2: per-element latencies of the operators
+// relevant for the PatchIndex — sequential set/get, sequential single
+// deletes, and bulk delete — for the ordinary and the sharded bitmap.
+// The paper reports a ~2x access overhead for sharding, a three
+// orders-of-magnitude faster delete, and another order for bulk delete.
+func RunTable2(w io.Writer, s Scale) {
+	header(w, "Table 2", "bitmap operator runtimes per element (shard size 2^14)")
+	bits := s.BitmapBits
+	nAccess := int(min64(bits, 1<<20))
+	nDelete := 2000 // ordinary bitmap deletes shift the whole tail; keep modest
+	nBulk := s.BitmapDeletes
+
+	fmt.Fprintf(w, "%-22s %18s %18s\n", "operation", "Bitmap[ns/el]", "Sharded[ns/el]")
+
+	// Sequential set.
+	ob := bitmap.New(bits)
+	sb := bitmap.NewSharded(bits, bitmap.DefaultShardBits)
+	tOrd := timeIt(func() {
+		for i := 0; i < nAccess; i++ {
+			ob.Set(uint64(i))
+		}
+	})
+	tShard := timeIt(func() {
+		for i := 0; i < nAccess; i++ {
+			sb.Set(uint64(i))
+		}
+	})
+	perElem(w, "Sequential Set", tOrd, nAccess, tShard, nAccess)
+
+	// Sequential get.
+	var sink bool
+	tOrd = timeIt(func() {
+		for i := 0; i < nAccess; i++ {
+			sink = ob.Get(uint64(i))
+		}
+	})
+	tShard = timeIt(func() {
+		for i := 0; i < nAccess; i++ {
+			sink = sb.Get(uint64(i))
+		}
+	})
+	_ = sink
+	perElem(w, "Sequential Get", tOrd, nAccess, tShard, nAccess)
+
+	// Sequential single deletes.
+	tOrd = timeIt(func() {
+		for i := 0; i < nDelete; i++ {
+			ob.Delete(uint64(i * 3))
+		}
+	})
+	tShard = timeIt(func() {
+		for i := 0; i < nDelete; i++ {
+			sb.Delete(uint64(i * 3))
+		}
+	})
+	perElem(w, "Seq. Delete", tOrd, nDelete, tShard, nDelete)
+
+	// Bulk delete (sharded only, as in the paper).
+	sb2 := bitmap.NewSharded(bits, bitmap.DefaultShardBits)
+	positions := randomPositions(bits, nBulk, 2)
+	tBulk := timeIt(func() { sb2.BulkDelete(positions) })
+	fmt.Fprintf(w, "%-22s %18s %18.1f\n", "Seq. Bulk Delete", "-",
+		float64(tBulk.Nanoseconds())/float64(nBulk))
+}
+
+func perElem(w io.Writer, name string, tOrd time.Duration, nOrd int, tShard time.Duration, nShard int) {
+	fmt.Fprintf(w, "%-22s %18.1f %18.1f\n", name,
+		float64(tOrd.Nanoseconds())/float64(nOrd),
+		float64(tShard.Nanoseconds())/float64(nShard))
+}
+
+func randomPositions(n uint64, k int, seed int64) []uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[uint64]bool, k)
+	out := make([]uint64, 0, k)
+	for len(out) < k {
+		p := uint64(rng.Int63n(int64(n)))
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func log2u(v uint64) int {
+	l := 0
+	for v > 1 {
+		v >>= 1
+		l++
+	}
+	return l
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

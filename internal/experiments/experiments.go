@@ -1,0 +1,76 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 6) at configurable scale: the sharded-bitmap
+// microbenchmarks (Fig. 6, Table 2), the PatchIndex microbenchmarks
+// (Fig. 7, Fig. 8, Fig. 9, Table 3), the TPC-H experiment (Fig. 10), the
+// motivating histogram (Fig. 1) and the qualitative comparison
+// (Fig. 11). Each Run* function prints the same rows/series the paper
+// reports; cmd/pibench is the driver.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Scale configures experiment sizes. The paper runs 100M-bit bitmaps,
+// 1B-tuple tables and TPC-H SF 1000 on a 24-core server; the defaults
+// here target a laptop while preserving every relative effect.
+type Scale struct {
+	// BitmapBits is the sharded-bitmap size (paper: 100M).
+	BitmapBits uint64
+	// BitmapDeletes is the bulk-delete size (paper: 1M).
+	BitmapDeletes int
+	// Rows is the microbenchmark table size (paper: 1B).
+	Rows int
+	// Partitions is the table partition count (paper: 24).
+	Partitions int
+	// UpdateTuples is the Fig. 9 update set size (paper: 1000).
+	UpdateTuples int
+	// SF is the TPC-H scale factor (paper: 1000).
+	SF float64
+	// Fig1Rows is the per-column row count of the PublicBI-like
+	// datasets.
+	Fig1Rows int
+}
+
+// DefaultScale is used by cmd/pibench without flags; it completes in a
+// few minutes on a laptop.
+func DefaultScale() Scale {
+	return Scale{
+		BitmapBits:    4 << 20,
+		BitmapDeletes: 40_000,
+		Rows:          200_000,
+		Partitions:    4,
+		UpdateTuples:  1000,
+		SF:            0.005,
+		Fig1Rows:      20_000,
+	}
+}
+
+// QuickScale is a smaller variant for smoke tests.
+func QuickScale() Scale {
+	return Scale{
+		BitmapBits:    1 << 18,
+		BitmapDeletes: 2_000,
+		Rows:          20_000,
+		Partitions:    4,
+		UpdateTuples:  100,
+		SF:            0.002,
+		Fig1Rows:      2_000,
+	}
+}
+
+// timeIt measures one invocation of f.
+func timeIt(f func()) time.Duration {
+	start := time.Now()
+	f()
+	return time.Since(start)
+}
+
+// header prints an experiment banner.
+func header(w io.Writer, id, title string) {
+	fmt.Fprintf(w, "\n=== %s — %s ===\n", id, title)
+}
+
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The experiment runners are exercised at QuickScale; beyond not
+// crashing, each must print the rows/series of its table or figure.
+
+func TestRunFig1(t *testing.T) {
+	var buf bytes.Buffer
+	RunFig1(&buf, QuickScale())
+	out := buf.String()
+	for _, want := range []string{"USCensus_1", "IGlocations2_1", "IUBlibrary_1", "15 of 521"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunFig6(t *testing.T) {
+	var buf bytes.Buffer
+	RunFig6(&buf, QuickScale())
+	out := buf.String()
+	if !strings.Contains(out, "2^14") || !strings.Contains(out, "0.3906") {
+		t.Fatalf("fig6 output missing the 2^14 row with 0.39%% overhead:\n%s", out)
+	}
+	// Every shard size from 2^8 to 2^19 must appear.
+	for _, shard := range []string{"2^8", "2^12", "2^19"} {
+		if !strings.Contains(out, shard) {
+			t.Fatalf("fig6 output missing shard size %s", shard)
+		}
+	}
+}
+
+func TestRunTable2(t *testing.T) {
+	var buf bytes.Buffer
+	RunTable2(&buf, QuickScale())
+	out := buf.String()
+	for _, op := range []string{"Sequential Set", "Sequential Get", "Seq. Delete", "Seq. Bulk Delete"} {
+		if !strings.Contains(out, op) {
+			t.Fatalf("table2 output missing %q:\n%s", op, out)
+		}
+	}
+}
+
+func TestRunFig7(t *testing.T) {
+	var buf bytes.Buffer
+	RunFig7(&buf, QuickScale())
+	out := buf.String()
+	for _, want := range []string{"NUC", "NSC", "PI_bitmap", "PI_identifier", "materialization"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig7 output missing %q", want)
+		}
+	}
+}
+
+func TestRunFig8(t *testing.T) {
+	var buf bytes.Buffer
+	RunFig8(&buf, QuickScale())
+	if !strings.Contains(buf.String(), "creation runtimes") {
+		t.Fatal("fig8 output malformed")
+	}
+}
+
+func TestRunFig9(t *testing.T) {
+	var buf bytes.Buffer
+	s := QuickScale()
+	s.UpdateTuples = 20 // keep the sweep quick
+	RunFig9(&buf, s)
+	out := buf.String()
+	for _, want := range []string{"INSERT", "MODIFY", "DELETE"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig9 output missing %q", want)
+		}
+	}
+}
+
+func TestRunTable3(t *testing.T) {
+	var buf bytes.Buffer
+	RunTable3(&buf, QuickScale())
+	out := buf.String()
+	if !strings.Contains(out, "t=1e9") || !strings.Contains(out, "measured") {
+		t.Fatalf("table3 output malformed:\n%s", out)
+	}
+	// The paper-scale analytic values must be present (order of
+	// magnitude): bitmap ~120 MB, matview ~GB.
+	if !strings.Contains(out, "MB") || !strings.Contains(out, "GB") {
+		t.Fatalf("table3 analytic magnitudes missing:\n%s", out)
+	}
+}
+
+func TestRunFig10(t *testing.T) {
+	var buf bytes.Buffer
+	RunFig10(&buf, QuickScale())
+	out := buf.String()
+	for _, want := range []string{"w/o constraint", "PI_10%", "PI_0%_ZBP", "JoinIndex", "Q3[ms]"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig10 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunFig11(t *testing.T) {
+	var buf bytes.Buffer
+	RunFig11(&buf, QuickScale())
+	out := buf.String()
+	for _, want := range []string{"PatchIndex", "Mat. view", "SortKey", "JoinIndex", "updatability"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig11 output missing %q", want)
+		}
+	}
+}
+
+func TestScales(t *testing.T) {
+	d := DefaultScale()
+	q := QuickScale()
+	if q.Rows >= d.Rows || q.BitmapBits >= d.BitmapBits {
+		t.Fatal("QuickScale not smaller than DefaultScale")
+	}
+	if d.SF <= 0 || d.Partitions < 1 {
+		t.Fatal("DefaultScale malformed")
+	}
+}

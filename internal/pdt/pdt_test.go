@@ -1,0 +1,282 @@
+package pdt
+
+import (
+	"math/rand"
+	"testing"
+
+	"patchindex/internal/storage"
+)
+
+func schema2() storage.Schema {
+	return storage.Schema{
+		{Name: "key", Kind: storage.KindInt64},
+		{Name: "val", Kind: storage.KindInt64},
+	}
+}
+
+func basePartition(n int) *storage.Partition {
+	p := storage.NewPartition(schema2())
+	for i := 0; i < n; i++ {
+		p.AppendRow(storage.Row{storage.I64(int64(i)), storage.I64(int64(i * 100))})
+	}
+	return p
+}
+
+// rowModel is a reference implementation of the merged-view semantics.
+type rowModel struct{ rows [][2]int64 }
+
+func newRowModel(n int) *rowModel {
+	m := &rowModel{}
+	for i := 0; i < n; i++ {
+		m.rows = append(m.rows, [2]int64{int64(i), int64(i * 100)})
+	}
+	return m
+}
+
+func TestDeltaInsertDelete(t *testing.T) {
+	base := basePartition(10)
+	d := NewDelta(schema2(), base.NumRows())
+	if !d.Empty() {
+		t.Fatal("fresh delta not empty")
+	}
+	d.Insert(storage.Row{storage.I64(100), storage.I64(1000)})
+	d.Insert(storage.Row{storage.I64(101), storage.I64(1010)})
+	if d.NumRows() != 12 || d.NumInserts() != 2 {
+		t.Fatalf("NumRows = %d, NumInserts = %d", d.NumRows(), d.NumInserts())
+	}
+	v := NewView(base, d)
+	if got := v.Get(10, 0); got.I != 100 {
+		t.Fatalf("view row 10 key = %v, want 100", got)
+	}
+	d.Delete(0) // deletes base row 0
+	if d.NumRows() != 11 {
+		t.Fatalf("NumRows = %d, want 11", d.NumRows())
+	}
+	if got := v.Get(0, 0); got.I != 1 {
+		t.Fatalf("after delete, row 0 key = %v, want 1", got)
+	}
+	// Logical position of first insert shifted down by one.
+	if got := v.Get(9, 0); got.I != 100 {
+		t.Fatalf("after delete, row 9 key = %v, want 100", got)
+	}
+}
+
+func TestDeltaDeleteInsertedRow(t *testing.T) {
+	base := basePartition(3)
+	d := NewDelta(schema2(), base.NumRows())
+	d.Insert(storage.Row{storage.I64(100), storage.I64(0)})
+	d.Insert(storage.Row{storage.I64(101), storage.I64(0)})
+	d.Delete(3) // first inserted row
+	if d.NumRows() != 4 || d.NumInserts() != 1 {
+		t.Fatalf("NumRows = %d, NumInserts = %d", d.NumRows(), d.NumInserts())
+	}
+	v := NewView(base, d)
+	if got := v.Get(3, 0); got.I != 101 {
+		t.Fatalf("remaining insert key = %v, want 101", got)
+	}
+}
+
+func TestDeltaModify(t *testing.T) {
+	base := basePartition(5)
+	d := NewDelta(schema2(), base.NumRows())
+	d.Modify(2, 1, storage.I64(-5))
+	v := NewView(base, d)
+	if got := v.Get(2, 1); got.I != -5 {
+		t.Fatalf("modified value = %v, want -5", got)
+	}
+	// Base storage untouched until checkpoint.
+	if base.Column(1).Int64At(2) != 200 {
+		t.Fatal("modify leaked into base before checkpoint")
+	}
+	// Modify on an inserted row writes the insert buffer directly.
+	d.Insert(storage.Row{storage.I64(9), storage.I64(9)})
+	d.Modify(5, 1, storage.I64(99))
+	if got := v.Get(5, 1); got.I != 99 {
+		t.Fatalf("modified inserted value = %v, want 99", got)
+	}
+}
+
+func TestDeltaDeleteDropsModify(t *testing.T) {
+	base := basePartition(5)
+	d := NewDelta(schema2(), base.NumRows())
+	d.Modify(2, 1, storage.I64(-5))
+	d.Delete(2)
+	d.Checkpoint(base)
+	if base.NumRows() != 4 {
+		t.Fatalf("NumRows = %d, want 4", base.NumRows())
+	}
+	for i := 0; i < 4; i++ {
+		if base.Column(1).Int64At(i) == -5 {
+			t.Fatal("modify of deleted row leaked into base")
+		}
+	}
+}
+
+func TestDeltaCheckpoint(t *testing.T) {
+	base := basePartition(6)
+	d := NewDelta(schema2(), base.NumRows())
+	d.Delete(1)
+	d.Delete(3) // logical 3 after first delete = base 4
+	d.Modify(0, 1, storage.I64(-1))
+	d.Insert(storage.Row{storage.I64(50), storage.I64(500)})
+	wantRows := d.NumRows()
+	v := NewView(base, d)
+	var wantKeys []int64
+	for i := 0; i < wantRows; i++ {
+		wantKeys = append(wantKeys, v.Get(i, 0).I)
+	}
+	d.Checkpoint(base)
+	if !d.Empty() {
+		t.Fatal("delta not empty after checkpoint")
+	}
+	if base.NumRows() != wantRows {
+		t.Fatalf("base rows = %d, want %d", base.NumRows(), wantRows)
+	}
+	for i, w := range wantKeys {
+		if got := base.Column(0).Int64At(i); got != w {
+			t.Fatalf("key[%d] = %d, want %d", i, got, w)
+		}
+	}
+	if base.Column(1).Int64At(0) != -1 {
+		t.Fatal("modify not applied at checkpoint")
+	}
+	// The view over the checkpointed state matches direct base access.
+	v2 := NewView(base, d)
+	if v2.NumRows() != base.NumRows() {
+		t.Fatal("view after checkpoint inconsistent")
+	}
+}
+
+func TestDeltaMaterialize(t *testing.T) {
+	base := basePartition(5)
+	d := NewDelta(schema2(), base.NumRows())
+	d.Delete(0)
+	d.Modify(0, 0, storage.I64(42)) // logical 0 is now base row 1
+	d.Insert(storage.Row{storage.I64(77), storage.I64(770)})
+	v := NewView(base, d)
+	got := v.MaterializeInt64(0)
+	want := []int64{42, 2, 3, 4, 77}
+	if len(got) != len(want) {
+		t.Fatalf("materialized = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("materialized = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDeltaMaterializeFastPathAliases(t *testing.T) {
+	base := basePartition(5)
+	v := NewView(base, nil)
+	got := v.MaterializeInt64(0)
+	if len(got) != 5 {
+		t.Fatalf("materialized %d values, want 5", len(got))
+	}
+	d := NewDelta(schema2(), base.NumRows())
+	v2 := NewView(base, d)
+	if len(v2.MaterializeInt64(0)) != 5 {
+		t.Fatal("empty delta materialize broken")
+	}
+}
+
+func TestDeltaMaterializeStringFloat(t *testing.T) {
+	schema := storage.Schema{
+		{Name: "s", Kind: storage.KindString},
+		{Name: "f", Kind: storage.KindFloat64},
+	}
+	base := storage.NewPartition(schema)
+	base.AppendRow(storage.Row{storage.Str("a"), storage.F64(1.5)})
+	base.AppendRow(storage.Row{storage.Str("b"), storage.F64(2.5)})
+	d := NewDelta(schema, 2)
+	d.Insert(storage.Row{storage.Str("c"), storage.F64(3.5)})
+	d.Modify(0, 0, storage.Str("z"))
+	v := NewView(base, d)
+	ss := v.MaterializeString(0)
+	if len(ss) != 3 || ss[0] != "z" || ss[2] != "c" {
+		t.Fatalf("strings = %v", ss)
+	}
+	ff := v.MaterializeFloat64(1)
+	if len(ff) != 3 || ff[2] != 3.5 {
+		t.Fatalf("floats = %v", ff)
+	}
+}
+
+func TestDeltaResolveOutOfRangePanics(t *testing.T) {
+	d := NewDelta(schema2(), 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Resolve out of range did not panic")
+		}
+	}()
+	d.Resolve(3)
+}
+
+func TestDeltaRandomOpsAgainstModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		n := 20 + rng.Intn(50)
+		base := basePartition(n)
+		d := NewDelta(schema2(), base.NumRows())
+		m := newRowModel(n)
+		for op := 0; op < 80; op++ {
+			switch rng.Intn(4) {
+			case 0: // insert
+				k := rng.Int63n(10000)
+				d.Insert(storage.Row{storage.I64(k), storage.I64(k)})
+				m.rows = append(m.rows, [2]int64{k, k})
+			case 1: // delete
+				if len(m.rows) == 0 {
+					continue
+				}
+				p := rng.Intn(len(m.rows))
+				d.Delete(p)
+				m.rows = append(m.rows[:p], m.rows[p+1:]...)
+			case 2: // modify
+				if len(m.rows) == 0 {
+					continue
+				}
+				p := rng.Intn(len(m.rows))
+				nv := rng.Int63n(10000)
+				d.Modify(p, 1, storage.I64(nv))
+				m.rows[p][1] = nv
+			case 3: // checkpoint
+				d.Checkpoint(base)
+			}
+		}
+		v := NewView(base, d)
+		if v.NumRows() != len(m.rows) {
+			t.Fatalf("trial %d: NumRows = %d, model %d", trial, v.NumRows(), len(m.rows))
+		}
+		for i, row := range m.rows {
+			if got := v.Get(i, 0).I; got != row[0] {
+				t.Fatalf("trial %d row %d col 0 = %d, model %d", trial, i, got, row[0])
+			}
+			if got := v.Get(i, 1).I; got != row[1] {
+				t.Fatalf("trial %d row %d col 1 = %d, model %d", trial, i, got, row[1])
+			}
+		}
+		mat := v.MaterializeInt64(1)
+		for i, row := range m.rows {
+			if mat[i] != row[1] {
+				t.Fatalf("trial %d materialize mismatch at %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestDeltaDeleteRows(t *testing.T) {
+	base := basePartition(10)
+	d := NewDelta(schema2(), base.NumRows())
+	d.DeleteRows([]int{0, 3, 7})
+	if d.NumRows() != 7 {
+		t.Fatalf("NumRows = %d, want 7", d.NumRows())
+	}
+	v := NewView(base, d)
+	want := []int64{1, 2, 4, 5, 6, 8, 9}
+	for i, w := range want {
+		if got := v.Get(i, 0).I; got != w {
+			t.Fatalf("row %d = %d, want %d", i, got, w)
+		}
+	}
+}

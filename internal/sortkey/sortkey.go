@@ -1,0 +1,106 @@
+// Package sortkey implements the SortKey comparator of the paper's
+// evaluation (Section 6): data is physically reordered on the key
+// column, so sort queries degenerate to scans (plus a partition merge).
+// Physically reordering is expensive to create and to maintain under
+// updates, and only one SortKey can exist per table — the drawbacks the
+// PatchIndex avoids by leaving the physical order untouched.
+package sortkey
+
+import (
+	"sort"
+
+	"patchindex/internal/exec"
+	"patchindex/internal/pdt"
+	"patchindex/internal/storage"
+)
+
+// SortKey physically orders a table's partitions by one int64 column.
+type SortKey struct {
+	table *storage.Table
+	col   int
+	desc  bool
+	// Rebuilds counts physical re-sorts, for the update experiments.
+	Rebuilds int
+}
+
+// Create physically sorts every partition of table by col.
+func Create(table *storage.Table, col int, desc bool) *SortKey {
+	s := &SortKey{table: table, col: col, desc: desc}
+	s.rebuild()
+	s.Rebuilds = 0
+	return s
+}
+
+func (s *SortKey) rebuild() {
+	for p := 0; p < s.table.NumPartitions(); p++ {
+		sortPartition(s.table.Partition(p), s.col, s.desc)
+	}
+	s.Rebuilds++
+}
+
+// Rebuild re-sorts the table — the per-update maintenance cost of the
+// SortKey approach.
+func (s *SortKey) Rebuild() { s.rebuild() }
+
+// sortPartition reorders all columns of p by the key column.
+func sortPartition(p *storage.Partition, col int, desc bool) {
+	n := p.NumRows()
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	keys := p.Column(col).Int64s()
+	sort.SliceStable(perm, func(a, b int) bool {
+		if desc {
+			return keys[perm[a]] > keys[perm[b]]
+		}
+		return keys[perm[a]] < keys[perm[b]]
+	})
+	// Apply the permutation to every column.
+	for c := 0; c < len(p.Schema()); c++ {
+		column := p.Column(c)
+		switch p.Schema()[c].Kind {
+		case storage.KindInt64:
+			src := column.Int64s()
+			dst := make([]int64, n)
+			for i, pi := range perm {
+				dst[i] = src[pi]
+			}
+			copy(src, dst)
+		case storage.KindFloat64:
+			src := column.Float64s()
+			dst := make([]float64, n)
+			for i, pi := range perm {
+				dst[i] = src[pi]
+			}
+			copy(src, dst)
+		default:
+			src := column.Strings()
+			dst := make([]string, n)
+			for i, pi := range perm {
+				dst[i] = src[pi]
+			}
+			copy(src, dst)
+		}
+	}
+}
+
+// SortedScan returns the sort-query plan under a SortKey: per-partition
+// scans (already sorted) combined by a Merge to preserve the global
+// order — the partitioned table still needs the merge step (Section 6.2).
+func (s *SortKey) SortedScan() exec.Operator {
+	key := exec.SortKey{Col: 0, Desc: s.desc}
+	parts := make([]exec.Operator, s.table.NumPartitions())
+	for p := 0; p < s.table.NumPartitions(); p++ {
+		view := pdt.NewView(s.table.Partition(p), nil)
+		parts[p] = exec.NewScan(view, []int{s.col})
+	}
+	if len(parts) == 1 {
+		return parts[0]
+	}
+	return exec.NewMerge([]exec.SortKey{key}, parts...)
+}
+
+// MemoryBytes is the extra storage of the SortKey: none — the data
+// itself is reordered (Fig. 11's "M" advantage).
+func (s *SortKey) MemoryBytes() uint64 { return 0 }

@@ -1,0 +1,94 @@
+package sortkey
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"patchindex/internal/exec"
+	"patchindex/internal/storage"
+)
+
+func table(vals []int64, nparts int) *storage.Table {
+	schema := storage.Schema{
+		{Name: "v", Kind: storage.KindInt64},
+		{Name: "tag", Kind: storage.KindString},
+	}
+	t := storage.NewTable("t", schema, nparts)
+	rows := make([]storage.Row, len(vals))
+	for i, v := range vals {
+		rows[i] = storage.Row{storage.I64(v), storage.Str(string(rune('a' + v%26)))}
+	}
+	t.LoadRows(rows)
+	return t
+}
+
+func TestCreateSortsAllColumns(t *testing.T) {
+	tb := table([]int64{3, 1, 2}, 1)
+	Create(tb, 0, false)
+	p := tb.Partition(0)
+	if got := p.Column(0).Int64s(); got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("keys = %v", got)
+	}
+	// The payload column must be permuted consistently.
+	if p.Column(1).StringAt(0) != "b" || p.Column(1).StringAt(2) != "d" {
+		t.Fatalf("payload = %v", p.Column(1).Strings())
+	}
+}
+
+func TestSortedScanGloballySorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	vals := make([]int64, 4000)
+	for i := range vals {
+		vals[i] = rng.Int63n(10000)
+	}
+	tb := table(vals, 4)
+	sk := Create(tb, 0, false)
+	batches, err := exec.Drain(sk.SortedScan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []int64
+	for _, b := range batches {
+		got = append(got, b.Cols[0].I64...)
+	}
+	if len(got) != len(vals) {
+		t.Fatalf("scan returned %d rows", len(got))
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatal("SortedScan not globally sorted")
+	}
+}
+
+func TestDescendingSortKey(t *testing.T) {
+	tb := table([]int64{1, 3, 2}, 1)
+	sk := Create(tb, 0, true)
+	batches, _ := exec.Drain(sk.SortedScan())
+	got := batches[0].Cols[0].I64
+	if got[0] != 3 || got[2] != 1 {
+		t.Fatalf("desc scan = %v", got)
+	}
+}
+
+func TestRebuildAfterUpdate(t *testing.T) {
+	tb := table([]int64{1, 2, 3}, 1)
+	sk := Create(tb, 0, false)
+	if sk.Rebuilds != 0 {
+		t.Fatalf("fresh Rebuilds = %d", sk.Rebuilds)
+	}
+	tb.AppendRow(0, storage.Row{storage.I64(0), storage.Str("z")})
+	sk.Rebuild()
+	if sk.Rebuilds != 1 {
+		t.Fatalf("Rebuilds = %d", sk.Rebuilds)
+	}
+	if got := tb.Partition(0).Column(0).Int64s(); got[0] != 0 {
+		t.Fatalf("after rebuild keys = %v", got)
+	}
+}
+
+func TestMemoryBytesZero(t *testing.T) {
+	sk := Create(table([]int64{1}, 1), 0, false)
+	if sk.MemoryBytes() != 0 {
+		t.Fatal("SortKey should have no memory overhead")
+	}
+}

@@ -1,0 +1,173 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Partition is one horizontal slice of a table: a set of equally long
+// columns plus lazily built minmax summaries. The paper's system creates
+// PatchIndexes partition-locally; our engine mirrors that.
+type Partition struct {
+	schema Schema
+	cols   []*Column
+	minmax []*MinMax // per column, int64 columns only, nil until built
+}
+
+// NewPartition returns an empty partition with the given schema.
+func NewPartition(schema Schema) *Partition {
+	p := &Partition{schema: schema, cols: make([]*Column, len(schema)), minmax: make([]*MinMax, len(schema))}
+	for i, def := range schema {
+		p.cols[i] = NewColumn(def.Name, def.Kind)
+	}
+	return p
+}
+
+// Schema returns the partition's schema.
+func (p *Partition) Schema() Schema { return p.schema }
+
+// NumRows returns the number of rows stored in the partition.
+func (p *Partition) NumRows() int {
+	if len(p.cols) == 0 {
+		return 0
+	}
+	return p.cols[0].Len()
+}
+
+// Column returns the column at schema position i.
+func (p *Partition) Column(i int) *Column { return p.cols[i] }
+
+// AppendRow appends one tuple.
+func (p *Partition) AppendRow(row Row) {
+	if len(row) != len(p.cols) {
+		panic(fmt.Sprintf("storage: row width %d != schema width %d", len(row), len(p.cols)))
+	}
+	for i, v := range row {
+		p.cols[i].Append(v)
+	}
+	p.invalidateMinMax()
+}
+
+// SetValue overwrites one cell.
+func (p *Partition) SetValue(row, col int, v Value) {
+	p.cols[col].Set(row, v)
+	p.minmax[col] = nil
+}
+
+// DeleteRows removes the rows at the given ascending positions from all
+// columns.
+func (p *Partition) DeleteRows(positions []uint64) {
+	if len(positions) == 0 {
+		return
+	}
+	if !sort.SliceIsSorted(positions, func(i, j int) bool { return positions[i] < positions[j] }) {
+		panic("storage: DeleteRows positions must be sorted ascending")
+	}
+	for _, c := range p.cols {
+		c.DeletePositions(positions)
+	}
+	p.invalidateMinMax()
+}
+
+// MinMax returns the minmax summary for the int64 column at schema
+// position col, building and caching it on first use. It returns nil for
+// non-int64 columns.
+func (p *Partition) MinMax(col int) *MinMax {
+	if p.schema[col].Kind != KindInt64 {
+		return nil
+	}
+	if p.minmax[col] == nil || p.minmax[col].Rows() != p.NumRows() {
+		p.minmax[col] = BuildMinMax(p.cols[col].Int64s())
+	}
+	return p.minmax[col]
+}
+
+func (p *Partition) invalidateMinMax() {
+	for i := range p.minmax {
+		p.minmax[i] = nil
+	}
+}
+
+// SizeBytes estimates the memory consumed by the partition's columns.
+func (p *Partition) SizeBytes() uint64 {
+	var sz uint64
+	for _, c := range p.cols {
+		sz += c.SizeBytes()
+	}
+	return sz
+}
+
+// Clone returns a deep copy of the partition (used by SortKey, which
+// physically reorders data).
+func (p *Partition) Clone() *Partition {
+	n := &Partition{schema: p.schema, cols: make([]*Column, len(p.cols)), minmax: make([]*MinMax, len(p.cols))}
+	for i, c := range p.cols {
+		n.cols[i] = c.Clone()
+	}
+	return n
+}
+
+// Table is a named, horizontally partitioned collection of columns.
+type Table struct {
+	Name   string
+	schema Schema
+	parts  []*Partition
+}
+
+// NewTable returns a table with numPartitions empty partitions.
+func NewTable(name string, schema Schema, numPartitions int) *Table {
+	if numPartitions < 1 {
+		numPartitions = 1
+	}
+	t := &Table{Name: name, schema: schema}
+	for i := 0; i < numPartitions; i++ {
+		t.parts = append(t.parts, NewPartition(schema))
+	}
+	return t
+}
+
+// Schema returns the table schema.
+func (t *Table) Schema() Schema { return t.schema }
+
+// NumPartitions returns the partition count.
+func (t *Table) NumPartitions() int { return len(t.parts) }
+
+// Partition returns partition i.
+func (t *Table) Partition(i int) *Partition { return t.parts[i] }
+
+// NumRows returns the total row count across partitions.
+func (t *Table) NumRows() int {
+	var n int
+	for _, p := range t.parts {
+		n += p.NumRows()
+	}
+	return n
+}
+
+// AppendRow appends a tuple to the given partition.
+func (t *Table) AppendRow(partition int, row Row) {
+	t.parts[partition].AppendRow(row)
+}
+
+// LoadRows distributes rows over partitions in contiguous, nearly equal
+// chunks — matching the paper's generator, which partitions on a dense
+// unique key so partitions have nearly equal size.
+func (t *Table) LoadRows(rows []Row) {
+	per := (len(rows) + len(t.parts) - 1) / len(t.parts)
+	for i, row := range rows {
+		p := i / per
+		if p >= len(t.parts) {
+			p = len(t.parts) - 1
+		}
+		t.parts[p].AppendRow(row)
+	}
+}
+
+// SizeBytes estimates total memory consumed by the table data.
+func (t *Table) SizeBytes() uint64 {
+	var sz uint64
+	for _, p := range t.parts {
+		sz += p.SizeBytes()
+	}
+	return sz
+}

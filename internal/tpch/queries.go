@@ -1,0 +1,298 @@
+package tpch
+
+import (
+	"fmt"
+
+	"patchindex/internal/exec"
+	"patchindex/internal/joinindex"
+	"patchindex/internal/plan"
+	"patchindex/internal/storage"
+)
+
+// Mode selects the execution strategy of the paper's Fig. 10 experiment.
+type Mode int
+
+const (
+	// ModeReference runs without any constraint definition (HashJoin).
+	ModeReference Mode = iota
+	// ModePatchIndex uses the NSC PatchIndex on lineitem.l_orderkey.
+	ModePatchIndex
+	// ModeZBP is ModePatchIndex with zero-branch pruning (only sensible
+	// at exception rate 0).
+	ModeZBP
+	// ModeJoinIndex uses the materialized JoinIndex.
+	ModeJoinIndex
+)
+
+// String names the mode as in Fig. 10.
+func (m Mode) String() string {
+	switch m {
+	case ModeReference:
+		return "w/o constraint"
+	case ModePatchIndex:
+		return "PI"
+	case ModeZBP:
+		return "PI_ZBP"
+	default:
+		return "JoinIndex"
+	}
+}
+
+// Query parameters (TPC-H defaults).
+var (
+	q3Segment = "BUILDING"
+	q3Date    = Date(1995, 3, 15)
+	q7Nation1 = NationKey("FRANCE")
+	q7Nation2 = NationKey("GERMANY")
+	q7From    = Date(1995, 1, 1)
+	q7To      = Date(1996, 12, 31)
+	q12Modes  = []string{"MAIL", "SHIP"}
+	q12From   = Date(1994, 1, 1)
+	q12To     = Date(1995, 1, 1)
+)
+
+func (ds *Dataset) joinInput(factCols []int, transform func(exec.Operator) exec.Operator, dim func() exec.Operator) plan.JoinInput {
+	return plan.JoinInput{
+		Fact:          ds.DB.MustTable("lineitem").Inputs("l_orderkey"),
+		FactCols:      factCols,
+		FactKey:       0,
+		Dim:           dim,
+		DimKey:        0,
+		FactTransform: transform,
+	}
+}
+
+// joined builds the lineitem ⋈ orders core of a query in the requested
+// mode. ji is only used by ModeJoinIndex; dimCols are the orders columns
+// a JoinIndex gather must fetch (excluding o_orderkey).
+func (ds *Dataset) joined(mode Mode, in plan.JoinInput, ji *joinindex.Index, factCols, jiDimCols []int, jiTransform func(exec.Operator) exec.Operator) (exec.Operator, error) {
+	switch mode {
+	case ModeReference:
+		return plan.JoinReference(in, plan.Options{}), nil
+	case ModePatchIndex:
+		return plan.Join(in, plan.Options{}), nil
+	case ModeZBP:
+		return plan.Join(in, plan.Options{ZeroBranchPruning: true}), nil
+	case ModeJoinIndex:
+		if ji == nil {
+			return nil, fmt.Errorf("tpch: ModeJoinIndex requires a JoinIndex")
+		}
+		return jiTransform(ji.Join(factCols, jiDimCols)), nil
+	}
+	return nil, fmt.Errorf("tpch: unknown mode %d", mode)
+}
+
+// Q3 — Shipping Priority: revenue of undelivered orders of one market
+// segment. Contains the largest lineitem ⋈ orders join of the subset.
+//
+//	SELECT l_orderkey, sum(l_extendedprice*(1-l_discount)) AS revenue,
+//	       o_orderdate, o_shippriority
+//	FROM customer, orders, lineitem
+//	WHERE c_mktsegment = 'BUILDING' AND c_custkey = o_custkey
+//	  AND l_orderkey = o_orderkey AND o_orderdate < 1995-03-15
+//	  AND l_shipdate > 1995-03-15
+//	GROUP BY l_orderkey, o_orderdate, o_shippriority
+func (ds *Dataset) Q3(mode Mode, ji *joinindex.Index) (exec.Operator, error) {
+	customerBuild := func() exec.Operator {
+		c := ds.DB.MustTable("customer")
+		return exec.NewFilter(c.ScanAll("c_custkey", "c_mktsegment"), exec.StrEq(1, q3Segment))
+	}
+	dim := func() exec.Operator {
+		o := ds.DB.MustTable("orders")
+		scan := o.ScanAll("o_orderkey", "o_custkey", "o_orderdate", "o_shippriority")
+		filtered := exec.NewFilter(scan, exec.Int64Less(2, q3Date))
+		// Probe side = orders: preserves o_orderkey order for MergeJoin.
+		return exec.NewHashJoin(filtered, customerBuild(), 1, 0)
+	}
+	// Fact schema after projection: [l_orderkey, l_shipdate,
+	// l_extendedprice, l_discount].
+	factCols := []int{0, 2, 5, 6}
+	shipFilter := func(op exec.Operator) exec.Operator {
+		return exec.NewFilter(op, exec.Int64Greater(1, q3Date))
+	}
+
+	var joined exec.Operator
+	var err error
+	if mode == ModeJoinIndex {
+		// Gather o_custkey, o_orderdate, o_shippriority positionally,
+		// then apply the date filters and the customer join.
+		jiTransform := func(op exec.Operator) exec.Operator {
+			f := exec.NewFilter(op, exec.And(
+				exec.Int64Greater(1, q3Date), // l_shipdate
+				exec.Int64Less(5, q3Date),    // o_orderdate
+			))
+			return exec.NewHashJoin(f, customerBuild(), 4, 0) // o_custkey
+		}
+		joined, err = ds.joined(mode, plan.JoinInput{}, ji, factCols, []int{1, 2, 3}, jiTransform)
+		if err != nil {
+			return nil, err
+		}
+		// Schema: [l_ok, l_ship, l_ext, l_disc, o_custkey, o_date,
+		// o_prio, c_custkey, c_seg]; group cols below.
+		rev := exec.NewComputeFloat64(joined, "revenue", func(b *exec.Batch, i int) float64 {
+			return b.Cols[2].F64[i] * (1 - b.Cols[3].F64[i])
+		})
+		agg := exec.NewHashAggregate(rev, []int{0, 5, 6}, []exec.AggSpec{
+			{Func: exec.AggSum, Col: 9, Name: "revenue"},
+		})
+		return exec.NewLimit(exec.NewSort(agg, exec.SortKey{Col: 3, Desc: true}), 10), nil
+	}
+
+	in := ds.joinInput(factCols, shipFilter, dim)
+	joined, err = ds.joined(mode, in, nil, nil, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	// Joined schema: [l_ok, l_ship, l_ext, l_disc] ++ [o_ok, o_ck,
+	// o_date, o_prio, c_ck, c_seg].
+	rev := exec.NewComputeFloat64(joined, "revenue", func(b *exec.Batch, i int) float64 {
+		return b.Cols[2].F64[i] * (1 - b.Cols[3].F64[i])
+	})
+	agg := exec.NewHashAggregate(rev, []int{0, 6, 7}, []exec.AggSpec{
+		{Func: exec.AggSum, Col: 10, Name: "revenue"},
+	})
+	return exec.NewLimit(exec.NewSort(agg, exec.SortKey{Col: 3, Desc: true}), 10), nil
+}
+
+// Q7 — Volume Shipping between two nations.
+//
+//	SELECT supp_nation, cust_nation, l_year, sum(volume)
+//	FROM supplier, lineitem, orders, customer, nation n1, nation n2
+//	WHERE s_suppkey = l_suppkey AND o_orderkey = l_orderkey
+//	  AND c_custkey = o_custkey AND s_nationkey = n1 AND c_nationkey = n2
+//	  AND ((n1=FRANCE AND n2=GERMANY) OR (n1=GERMANY AND n2=FRANCE))
+//	  AND l_shipdate BETWEEN 1995-01-01 AND 1996-12-31
+//	GROUP BY supp_nation, cust_nation, l_year
+func (ds *Dataset) Q7(mode Mode, ji *joinindex.Index) (exec.Operator, error) {
+	nationPair := func(sCol, cCol int) exec.Pred {
+		return func(b *exec.Batch, i int) bool {
+			s, c := b.Cols[sCol].I64[i], b.Cols[cCol].I64[i]
+			return (s == q7Nation1 && c == q7Nation2) || (s == q7Nation2 && c == q7Nation1)
+		}
+	}
+	supplierBuild := func() exec.Operator {
+		s := ds.DB.MustTable("supplier")
+		return exec.NewFilter(s.ScanAll("s_suppkey", "s_nationkey"), func(b *exec.Batch, i int) bool {
+			n := b.Cols[1].I64[i]
+			return n == q7Nation1 || n == q7Nation2
+		})
+	}
+	customerBuild := func() exec.Operator {
+		c := ds.DB.MustTable("customer")
+		return exec.NewFilter(c.ScanAll("c_custkey", "c_nationkey"), func(b *exec.Batch, i int) bool {
+			n := b.Cols[1].I64[i]
+			return n == q7Nation1 || n == q7Nation2
+		})
+	}
+	dim := func() exec.Operator {
+		o := ds.DB.MustTable("orders")
+		scan := o.ScanAll("o_orderkey", "o_custkey")
+		return exec.NewHashJoin(scan, customerBuild(), 1, 0)
+	}
+	// Fact projection: [l_orderkey, l_suppkey, l_shipdate,
+	// l_extendedprice, l_discount].
+	factCols := []int{0, 1, 2, 5, 6}
+	transform := func(op exec.Operator) exec.Operator {
+		f := exec.NewFilter(op, exec.Int64Range(2, q7From, q7To))
+		return exec.NewHashJoin(f, supplierBuild(), 1, 0)
+	}
+
+	var joined exec.Operator
+	var err error
+	var sNat, cNat, ship, ext, disc int
+	if mode == ModeJoinIndex {
+		jiTransform := func(op exec.Operator) exec.Operator {
+			// op: [l_ok, l_sk, l_ship, l_ext, l_disc, o_custkey]
+			f := exec.NewFilter(op, exec.Int64Range(2, q7From, q7To))
+			sj := exec.NewHashJoin(f, supplierBuild(), 1, 0)   // + s_sk, s_nat
+			return exec.NewHashJoin(sj, customerBuild(), 5, 0) // + c_ck, c_nat
+		}
+		joined, err = ds.joined(mode, plan.JoinInput{}, ji, factCols, []int{1}, jiTransform)
+		sNat, cNat, ship, ext, disc = 7, 9, 2, 3, 4
+	} else {
+		in := ds.joinInput(factCols, transform, dim)
+		joined, err = ds.joined(mode, in, nil, nil, nil, nil)
+		// Joined: [l_ok, l_sk, l_ship, l_ext, l_disc, s_sk, s_nat] ++
+		// [o_ok, o_ck, c_ck, c_nat].
+		sNat, cNat, ship, ext, disc = 6, 10, 2, 3, 4
+	}
+	if err != nil {
+		return nil, err
+	}
+	filtered := exec.NewFilter(joined, nationPair(sNat, cNat))
+	vol := exec.NewComputeFloat64(filtered, "volume", func(b *exec.Batch, i int) float64 {
+		return b.Cols[ext].F64[i] * (1 - b.Cols[disc].F64[i])
+	})
+	volCol := len(vol.Schema()) - 1
+	year := exec.NewComputeInt64(vol, "l_year", func(b *exec.Batch, i int) int64 {
+		return Year(b.Cols[ship].I64[i])
+	})
+	yearCol := len(year.Schema()) - 1
+	agg := exec.NewHashAggregate(year, []int{sNat, cNat, yearCol}, []exec.AggSpec{
+		{Func: exec.AggSum, Col: volCol, Name: "volume"},
+	})
+	return exec.NewSort(agg, exec.SortKey{Col: 0}, exec.SortKey{Col: 1}, exec.SortKey{Col: 2}), nil
+}
+
+// Q12 — Shipping Modes and Order Priority: a small join after heavy
+// selections; the query where subtree cloning overhead can outweigh the
+// MergeJoin benefit (Section 6.3).
+//
+//	SELECT l_shipmode,
+//	       sum(o_orderpriority IN (URGENT,HIGH)) AS high_line_count,
+//	       sum(o_orderpriority NOT IN (URGENT,HIGH)) AS low_line_count
+//	FROM orders, lineitem
+//	WHERE o_orderkey = l_orderkey AND l_shipmode IN ('MAIL','SHIP')
+//	  AND l_commitdate < l_receiptdate AND l_shipdate < l_commitdate
+//	  AND l_receiptdate >= 1994-01-01 AND l_receiptdate < 1995-01-01
+//	GROUP BY l_shipmode
+func (ds *Dataset) Q12(mode Mode, ji *joinindex.Index) (exec.Operator, error) {
+	// Fact projection: [l_orderkey, l_shipdate, l_commitdate,
+	// l_receiptdate, l_shipmode].
+	factCols := []int{0, 2, 3, 4, 7}
+	liPred := exec.And(
+		exec.StrIn(4, q12Modes...),
+		func(b *exec.Batch, i int) bool { return b.Cols[2].I64[i] < b.Cols[3].I64[i] },
+		func(b *exec.Batch, i int) bool { return b.Cols[1].I64[i] < b.Cols[2].I64[i] },
+		exec.Int64Range(3, q12From, q12To-1),
+	)
+	transform := func(op exec.Operator) exec.Operator { return exec.NewFilter(op, liPred) }
+	dim := func() exec.Operator {
+		return ds.DB.MustTable("orders").ScanAll("o_orderkey", "o_orderpriority")
+	}
+
+	var joined exec.Operator
+	var err error
+	var prioCol int
+	if mode == ModeJoinIndex {
+		joined, err = ds.joined(mode, plan.JoinInput{}, ji, factCols, []int{4}, transform)
+		prioCol = 5
+	} else {
+		in := ds.joinInput(factCols, transform, dim)
+		joined, err = ds.joined(mode, in, nil, nil, nil, nil)
+		prioCol = 6
+	}
+	if err != nil {
+		return nil, err
+	}
+	high := exec.NewComputeInt64(joined, "is_high", func(b *exec.Batch, i int) int64 {
+		if p := b.Cols[prioCol].I64[i]; p == PrioUrgent || p == PrioHigh {
+			return 1
+		}
+		return 0
+	})
+	highCol := len(high.Schema()) - 1
+	low := exec.NewComputeInt64(high, "is_low", func(b *exec.Batch, i int) int64 {
+		return 1 - b.Cols[highCol].I64[i]
+	})
+	agg := exec.NewHashAggregate(low, []int{4}, []exec.AggSpec{
+		{Func: exec.AggSum, Col: highCol, Name: "high_line_count"},
+		{Func: exec.AggSum, Col: highCol + 1, Name: "low_line_count"},
+	})
+	return exec.NewSort(agg, exec.SortKey{Col: 0}), nil
+}
+
+// ResultRows drains a query into boxed rows for comparison and printing.
+func ResultRows(op exec.Operator) ([]storage.Row, error) {
+	return exec.Collect(op)
+}

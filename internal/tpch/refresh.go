@@ -1,0 +1,137 @@
+package tpch
+
+import (
+	"patchindex/internal/joinindex"
+	"patchindex/internal/storage"
+)
+
+// Refresh functions of the TPC-H benchmark (Section 6.3): RF1 inserts
+// new orders with their lineitems, RF2 deletes old orders with their
+// lineitems. The paper's insert set is 0.5M tuples and the delete set 6M
+// tuples at SF 1000; the fractions below reproduce those proportions at
+// any scale.
+
+// RF1InsertFraction is the insert set size relative to the order count.
+const RF1InsertFraction = 0.001
+
+// RF2DeleteFraction is the delete set size relative to the order count.
+const RF2DeleteFraction = 0.004
+
+// RF1 inserts n new orders (with 1–7 lineitems each) through the
+// engine's update path, which maintains any PatchIndexes. When ji is
+// non-nil, the JoinIndex is maintained alongside (the comparator's
+// update cost). It returns the number of inserted lineitems.
+func (ds *Dataset) RF1(n int, ji *joinindex.Index) (int, error) {
+	if n < 1 {
+		n = 1
+	}
+	orderRows := make([]storage.Row, 0, n)
+	var liRows []storage.Row
+	for i := 0; i < n; i++ {
+		key := ds.nextOrderKey
+		ds.nextOrderKey++
+		date := int64(ds.rng.Intn(int(Date(1998, 8, 2))))
+		orderRows = append(orderRows, storage.Row{
+			storage.I64(key),
+			storage.I64(1 + ds.rng.Int63n(int64(ds.NumCustomers))),
+			storage.I64(date),
+			storage.I64(0),
+			storage.I64(1 + ds.rng.Int63n(5)),
+		})
+		nli := 1 + ds.rng.Intn(7)
+		for l := 0; l < nli; l++ {
+			liRows = append(liRows, ds.lineitemRow(key, date))
+		}
+	}
+	ordersBefore := ds.DB.MustTable("orders").NumRows()
+	if err := ds.DB.Insert("orders", orderRows); err != nil {
+		return 0, err
+	}
+	if ji != nil {
+		keys := make([]int64, len(orderRows))
+		for i, r := range orderRows {
+			keys[i] = r[0].I
+		}
+		ji.HandleDimInsert(keys, int64(ordersBefore))
+	}
+	if err := ds.DB.Insert("lineitem", liRows); err != nil {
+		return 0, err
+	}
+	ds.NumOrders += n
+	ds.NumLineitems += len(liRows)
+	if ji != nil {
+		// Mirror the engine's round-robin distribution to update the
+		// per-partition reference columns.
+		nparts := ds.DB.MustTable("lineitem").NumPartitions()
+		perPart := make([][]int64, nparts)
+		for i, r := range liRows {
+			p := i % nparts
+			perPart[p] = append(perPart[p], r[0].I)
+		}
+		for p, keys := range perPart {
+			if len(keys) > 0 {
+				ji.HandleInsert(p, keys)
+			}
+		}
+	}
+	return len(liRows), nil
+}
+
+// RF2 deletes the n oldest orders (lowest orderkeys still present) and
+// their lineitems. PatchIndexes are maintained by the engine's delete
+// path (bulk delete on the sharded bitmap); a non-nil JoinIndex is
+// maintained alongside. It returns the number of deleted lineitems.
+func (ds *Dataset) RF2(n int, ji *joinindex.Index) (int, error) {
+	if n < 1 {
+		n = 1
+	}
+	// Determine the key range of the n smallest orderkeys.
+	orders := ds.DB.MustTable("orders")
+	keys := orders.View(0).MaterializeInt64(0)
+	if len(keys) == 0 {
+		return 0, nil
+	}
+	limit := n
+	if limit > len(keys) {
+		limit = len(keys)
+	}
+	// Orders are stored sorted by orderkey.
+	maxKey := keys[limit-1]
+
+	li := ds.DB.MustTable("lineitem")
+	var deleted int
+	for p := 0; p < li.NumPartitions(); p++ {
+		vals := li.View(p).MaterializeInt64(0)
+		var rowIDs []uint64
+		for i, v := range vals {
+			if v <= maxKey {
+				rowIDs = append(rowIDs, uint64(i))
+			}
+		}
+		if len(rowIDs) == 0 {
+			continue
+		}
+		if ji != nil {
+			ji.HandleDelete(p, rowIDs)
+		}
+		if err := ds.DB.DeleteRowIDs("lineitem", p, rowIDs); err != nil {
+			return deleted, err
+		}
+		deleted += len(rowIDs)
+	}
+	if _, err := ds.DB.DeleteWhereInt64("orders", "o_orderkey", func(v int64) bool { return v <= maxKey }); err != nil {
+		return deleted, err
+	}
+	if ji != nil {
+		// The deleted orders occupied the first `limit` positions of the
+		// (orderkey-sorted) orders table; remap the reference column.
+		delDim := make([]uint64, limit)
+		for i := range delDim {
+			delDim[i] = uint64(i)
+		}
+		ji.HandleDimDelete(delDim)
+	}
+	ds.NumOrders -= limit
+	ds.NumLineitems -= deleted
+	return deleted, nil
+}

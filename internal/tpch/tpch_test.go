@@ -1,0 +1,289 @@
+package tpch
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"patchindex/internal/exec"
+	"patchindex/internal/joinindex"
+	"patchindex/internal/storage"
+)
+
+func smallDataset(t *testing.T, e float64) *Dataset {
+	t.Helper()
+	ds, err := Generate(Config{SF: 0.002, ExceptionRate: e, LineitemPartitions: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.CreatePatchIndex(); err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func rowsKey(rows []storage.Row) string {
+	s := ""
+	for _, r := range rows {
+		for _, v := range r {
+			if v.Kind == storage.KindFloat64 {
+				s += fmt.Sprintf("|%.4f", v.F)
+			} else {
+				s += "|" + v.String()
+			}
+		}
+		s += "\n"
+	}
+	return s
+}
+
+func sortRows(rows []storage.Row) []storage.Row {
+	// Canonicalize by string key for unordered comparison.
+	out := append([]storage.Row{}, rows...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && rowsKey([]storage.Row{out[j]}) < rowsKey([]storage.Row{out[j-1]}); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func TestGenerateShape(t *testing.T) {
+	ds := smallDataset(t, 0.05)
+	if ds.NumOrders < 100 || ds.NumLineitems < ds.NumOrders {
+		t.Fatalf("dataset too small: %s", ds)
+	}
+	if got := ds.DB.MustTable("lineitem").NumRows(); got != ds.NumLineitems {
+		t.Fatalf("lineitem rows = %d, want %d", got, ds.NumLineitems)
+	}
+	// Discovered exception rate tracks the configured perturbation.
+	e := ds.ExceptionRate()
+	if e < 0.01 || e > 0.06 {
+		t.Fatalf("discovered e = %f, want ~0.05", e)
+	}
+	// Orders must be sorted by orderkey (dimension-side requirement).
+	keys := ds.DB.MustTable("orders").View(0).MaterializeInt64(0)
+	for i := 1; i < len(keys); i++ {
+		if keys[i] < keys[i-1] {
+			t.Fatal("orders not sorted by o_orderkey")
+		}
+	}
+}
+
+func TestGenerateCleanHasZeroExceptions(t *testing.T) {
+	ds := smallDataset(t, 0)
+	if e := ds.ExceptionRate(); e != 0 {
+		t.Fatalf("clean dataset e = %f", e)
+	}
+}
+
+func TestDateHelpers(t *testing.T) {
+	if Date(1992, 1, 1) != 0 {
+		t.Fatal("epoch wrong")
+	}
+	if Date(1995, 3, 15) <= Date(1995, 3, 1) {
+		t.Fatal("date ordering wrong")
+	}
+	if Year(Date(1995, 6, 1)) != 1995 {
+		t.Fatalf("Year = %d", Year(Date(1995, 6, 1)))
+	}
+	if NationKey("FRANCE") == -1 || NationKey("NOPE") != -1 {
+		t.Fatal("NationKey broken")
+	}
+}
+
+// TestQueriesAgreeAcrossModes is the TPC-H integration property: every
+// query returns identical results in every execution mode.
+func TestQueriesAgreeAcrossModes(t *testing.T) {
+	for _, e := range []float64{0, 0.05} {
+		ds := smallDataset(t, e)
+		ji := ds.CreateJoinIndex()
+		queries := map[string]func(Mode, *joinindex.Index) (exec.Operator, error){
+			"Q3":  ds.Q3,
+			"Q7":  ds.Q7,
+			"Q12": ds.Q12,
+		}
+		for name, q := range queries {
+			ref, err := q(ModeReference, nil)
+			if err != nil {
+				t.Fatalf("%s reference: %v", name, err)
+			}
+			want, err := ResultRows(ref)
+			if err != nil {
+				t.Fatalf("%s reference: %v", name, err)
+			}
+			if name != "Q3" && len(want) == 0 {
+				t.Fatalf("%s returned no rows; weak test", name)
+			}
+			modes := []Mode{ModePatchIndex, ModeJoinIndex}
+			if e == 0 {
+				modes = append(modes, ModeZBP)
+			}
+			for _, mode := range modes {
+				op, err := q(mode, ji)
+				if err != nil {
+					t.Fatalf("%s %v: %v", name, mode, err)
+				}
+				got, err := ResultRows(op)
+				if err != nil {
+					t.Fatalf("%s %v: %v", name, mode, err)
+				}
+				if rowsKey(sortRows(got)) != rowsKey(sortRows(want)) {
+					t.Fatalf("e=%.2f %s %v disagrees with reference:\n got %d rows\nwant %d rows",
+						e, name, mode, len(got), len(want))
+				}
+			}
+		}
+	}
+}
+
+func TestQ12HasBothCounts(t *testing.T) {
+	ds := smallDataset(t, 0.05)
+	op, err := ds.Q12(ModeReference, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := ResultRows(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 || len(rows) > 2 {
+		t.Fatalf("Q12 groups = %d, want 1..2 (MAIL, SHIP)", len(rows))
+	}
+	for _, r := range rows {
+		if r[1].I+r[2].I == 0 {
+			t.Fatal("Q12 group with zero lines")
+		}
+	}
+}
+
+func TestQ3Top10Ordered(t *testing.T) {
+	ds := smallDataset(t, 0.05)
+	op, err := ds.Q3(ModePatchIndex, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := ResultRows(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) > 10 {
+		t.Fatalf("Q3 returned %d rows, want <= 10", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i][3].F > rows[i-1][3].F+1e-9 {
+			t.Fatal("Q3 not ordered by revenue desc")
+		}
+	}
+}
+
+func TestRF1MaintainsIndexAndQueries(t *testing.T) {
+	ds := smallDataset(t, 0.05)
+	ji := ds.CreateJoinIndex()
+	liBefore := ds.NumLineitems
+	n, err := ds.RF1(10, ji)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 10 || ds.NumLineitems != liBefore+n {
+		t.Fatalf("RF1 inserted %d lineitems", n)
+	}
+	// All modes must still agree after the refresh.
+	want, err := ResultRows(mustOp(t)(ds.Q3(ModeReference, nil)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []Mode{ModePatchIndex, ModeJoinIndex} {
+		got, err := ResultRows(mustOp(t)(ds.Q3(mode, ji)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rowsKey(sortRows(got)) != rowsKey(sortRows(want)) {
+			t.Fatalf("Q3 %v disagrees after RF1", mode)
+		}
+	}
+}
+
+func TestRF2MaintainsIndexAndQueries(t *testing.T) {
+	ds := smallDataset(t, 0.05)
+	ji := ds.CreateJoinIndex()
+	liBefore := ds.NumLineitems
+	n, err := ds.RF2(20, ji)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 || ds.NumLineitems != liBefore-n {
+		t.Fatalf("RF2 deleted %d lineitems", n)
+	}
+	want, err := ResultRows(mustOp(t)(ds.Q7(ModeReference, nil)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []Mode{ModePatchIndex, ModeJoinIndex} {
+		got, err := ResultRows(mustOp(t)(ds.Q7(mode, ji)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rowsKey(sortRows(got)) != rowsKey(sortRows(want)) {
+			t.Fatalf("Q7 %v disagrees after RF2", mode)
+		}
+	}
+}
+
+func TestRefreshCycleRepeated(t *testing.T) {
+	ds := smallDataset(t, 0.05)
+	for i := 0; i < 3; i++ {
+		if _, err := ds.RF1(5, nil); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ds.RF2(5, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, x := range ds.DB.MustTable("lineitem").PatchIndexes("l_orderkey") {
+		if err := x.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Query still runs.
+	rows, err := ResultRows(mustOp(t)(ds.Q12(ModePatchIndex, nil)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if math.IsNaN(float64(r[1].I)) {
+			t.Fatal("bad aggregation")
+		}
+	}
+}
+
+func mustOp(t *testing.T) func(exec.Operator, error) exec.Operator {
+	return func(op exec.Operator, err error) exec.Operator {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return op
+	}
+}
+
+func TestModeNames(t *testing.T) {
+	names := map[Mode]string{
+		ModeReference:  "w/o constraint",
+		ModePatchIndex: "PI",
+		ModeZBP:        "PI_ZBP",
+		ModeJoinIndex:  "JoinIndex",
+	}
+	for m, want := range names {
+		if m.String() != want {
+			t.Fatalf("Mode(%d) = %q, want %q", m, m.String(), want)
+		}
+	}
+}
+
+func TestJoinIndexModeRequiresIndex(t *testing.T) {
+	ds := smallDataset(t, 0)
+	if _, err := ds.Q3(ModeJoinIndex, nil); err == nil {
+		t.Fatal("ModeJoinIndex without index did not error")
+	}
+}
