@@ -333,6 +333,21 @@ func (x *Index) Condense() {
 	}
 }
 
+// Clone returns a deep copy of the index, including the patch bitmap or
+// identifier list. The engine's snapshot layer clones an index before
+// mutating it when the current generation is referenced by a live
+// snapshot, so snapshot queries keep reading a frozen patch view while
+// update handling proceeds on the new generation (the MVCC-lite analogue
+// of the host system's snapshot isolation, Section 5.4).
+func (x *Index) Clone() *Index {
+	n := *x
+	if x.bm != nil {
+		n.bm = x.bm.Clone()
+	}
+	n.ids = append([]uint64(nil), x.ids...)
+	return &n
+}
+
 // Validate checks internal invariants; it is used by tests and returns a
 // descriptive error on corruption.
 func (x *Index) Validate() error {

@@ -279,3 +279,33 @@ func samplePositions(rng *rand.Rand, n, k int) []uint64 {
 	}
 	return out
 }
+
+func TestCloneIndependence(t *testing.T) {
+	for _, d := range bothDesigns {
+		x := New(NearlyUnique, 100, []uint64{3, 7, 50}, optsFor(d))
+		c := x.Clone()
+		// Mutating the clone must not leak into the original, and vice
+		// versa — the snapshot layer depends on this.
+		c.Extend(28)
+		c.AddPatches([]uint64{10, 20, 110})
+		x.HandleDelete([]uint64{3, 4})
+		if x.Rows() != 98 || x.NumPatches() != 2 {
+			t.Fatalf("%v: original rows=%d patches=%d, want 98/2", d, x.Rows(), x.NumPatches())
+		}
+		if c.Rows() != 128 || c.NumPatches() != 6 {
+			t.Fatalf("%v: clone rows=%d patches=%d, want 128/6", d, c.Rows(), c.NumPatches())
+		}
+		if x.IsPatch(10) {
+			t.Fatalf("%v: clone patch leaked into original", d)
+		}
+		if !c.IsPatch(3) || !c.IsPatch(110) {
+			t.Fatalf("%v: clone lost patches", d)
+		}
+		if err := x.Validate(); err != nil {
+			t.Fatalf("%v original: %v", d, err)
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("%v clone: %v", d, err)
+		}
+	}
+}

@@ -21,13 +21,20 @@ import (
 // (queries inside one update query run single-threaded per partition,
 // mirroring the paper's snapshot-isolated engine).
 //
-// Query execution happens against views handed out under the table lock
-// but consumed after it is released; running a query concurrently with
-// updates on the same table therefore requires external synchronization.
-// The paper's host system provides snapshot isolation for this case
-// (Section 5.4); a full MVCC layer is out of scope here, and the
-// fine-grained concurrency properties of the underlying structure are
-// exercised directly on bitmap.Concurrent instead.
+// Queries are snapshot-isolated from updates (the MVCC-lite analogue of
+// the host system's snapshot isolation the paper assumes, Section 5.4):
+// a query entry point captures an immutable TableSnapshot under the
+// table lock — frozen partition views, the sealed positional delta, and
+// the per-partition PatchIndexes — then releases the lock and executes
+// the whole vectorized plan against the snapshot. Updates racing the
+// query mutate fresh copy-on-write generations of whatever the snapshot
+// references (delta, patch bitmaps, and — for delete/modify checkpoints
+// — base partitions), so every query observes exactly the table state
+// at capture time: either entirely before or entirely after any
+// concurrent update query. The same holds for views handed out by
+// View/Views/Inputs/ScanAll. Only the evaluation comparators (SortKey's
+// physical reorder) bypass the engine and still need external
+// synchronization.
 type Database struct {
 	mu     sync.RWMutex
 	tables map[string]*Table
@@ -35,7 +42,10 @@ type Database struct {
 	// AutoCheckpoint propagates positional deltas into base storage at
 	// the end of every update query (default true). Disabling it keeps
 	// updates purely in-memory, as the PDT-based system does between
-	// checkpoints.
+	// checkpoints. With live snapshots, an insert-only checkpoint
+	// appends in place (frozen views cap their own column headers);
+	// delete/modify checkpoints publish a cloned partition generation
+	// atomically instead of compacting shared arrays.
 	AutoCheckpoint bool
 }
 
@@ -45,11 +55,30 @@ func NewDatabase() *Database {
 }
 
 // Table is a partitioned table plus its pending deltas and PatchIndexes.
+//
+// Snapshot generation tracking: handing out a view (Snapshot, View,
+// Views, Inputs, ScanAll, or a query entry point) marks the current
+// base/delta/index generations as shared. The first subsequent mutation
+// of a shared generation clones it and installs the clone as the new
+// current generation — the old objects stay frozen for the snapshot.
+// Appends are exempt: frozen partition views carry their own length-
+// capped column headers, so an insert-only checkpoint may append to the
+// live arrays in place without disturbing any snapshot.
 type Table struct {
 	mu    sync.Mutex
 	name  string
 	store *storage.Table
 	delta []*pdt.Delta
+
+	// baseShared[p]: partition p's backing arrays are referenced by a
+	// live snapshot; delete/modify checkpoints must clone-and-swap.
+	baseShared []bool
+	// deltaShared[p]: delta[p] is sealed into a live snapshot; the next
+	// mutation copies it first.
+	deltaShared []bool
+	// idxShared[column]: the index generation on column is referenced by
+	// a live snapshot; update handling clones before mutating.
+	idxShared map[string]bool
 
 	// indexes[column] holds one PatchIndex per partition.
 	indexes map[string][]*core.Index
@@ -69,7 +98,15 @@ func (db *Database) CreateTable(name string, schema storage.Schema, partitions i
 		return nil, fmt.Errorf("engine: table %q already exists", name)
 	}
 	st := storage.NewTable(name, schema, partitions)
-	t := &Table{name: name, store: st, indexes: make(map[string][]*core.Index)}
+	partitions = st.NumPartitions() // NewTable clamps to >= 1
+	t := &Table{
+		name:        name,
+		store:       st,
+		indexes:     make(map[string][]*core.Index),
+		baseShared:  make([]bool, partitions),
+		deltaShared: make([]bool, partitions),
+		idxShared:   make(map[string]bool),
+	}
 	t.delta = make([]*pdt.Delta, partitions)
 	for p := range t.delta {
 		t.delta[p] = pdt.NewDelta(schema, 0)
@@ -118,36 +155,81 @@ func (t *Table) NumRows() int {
 	return n
 }
 
-// View returns the merged read view of partition p.
+// View returns a snapshot read view of partition p, valid for use after
+// the call returns even while updates proceed on the table.
 func (t *Table) View(p int) *pdt.View {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.viewLocked(p)
+	return t.snapshotViewLocked(p)
 }
 
+// viewLocked returns a live read view for use strictly under the table
+// lock (update handling, index discovery). It does not mark generations
+// shared, so it must never escape the lock — handed-out views go through
+// snapshotViewLocked instead.
 func (t *Table) viewLocked(p int) *pdt.View {
 	return pdt.NewView(t.store.Partition(p), t.delta[p])
 }
 
-// Views returns the merged read views of all partitions.
+// snapshotViewLocked returns a frozen read view of partition p and marks
+// the partition's base and delta generations as shared, forcing
+// copy-on-write on the next conflicting mutation.
+func (t *Table) snapshotViewLocked(p int) *pdt.View {
+	t.baseShared[p] = true
+	t.deltaShared[p] = true
+	return pdt.NewView(t.store.Partition(p).Freeze(), t.delta[p])
+}
+
+// Views returns snapshot read views of all partitions, capturing one
+// consistent table state.
 func (t *Table) Views() []*pdt.View {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	out := make([]*pdt.View, t.store.NumPartitions())
 	for p := range out {
-		out[p] = t.viewLocked(p)
+		out[p] = t.snapshotViewLocked(p)
 	}
 	return out
 }
 
+// mutableDeltaLocked returns delta[p], copying it first when the current
+// generation is sealed into a live snapshot.
+func (t *Table) mutableDeltaLocked(p int) *pdt.Delta {
+	if t.deltaShared[p] {
+		t.delta[p] = t.delta[p].Clone()
+		t.deltaShared[p] = false
+	}
+	return t.delta[p]
+}
+
+// mutableIndexesLocked returns the per-partition indexes on column for
+// mutation, cloning the whole generation first when a live snapshot
+// references it. Returns nil when no index exists.
+func (t *Table) mutableIndexesLocked(column string) []*core.Index {
+	idx := t.indexes[column]
+	if idx != nil && t.idxShared[column] {
+		cp := make([]*core.Index, len(idx))
+		for i, x := range idx {
+			cp[i] = x.Clone()
+		}
+		t.indexes[column] = cp
+		delete(t.idxShared, column)
+		idx = cp
+	}
+	return idx
+}
+
 // Load bulk-loads rows into base storage in contiguous partition chunks
-// and resets the deltas (initial load path, not an update query).
+// and resets the deltas (initial load path, not an update query). Loading
+// only appends, so live snapshots stay valid without cloning; the old
+// deltas are left to their snapshots and replaced wholesale.
 func (t *Table) Load(rows []storage.Row) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.store.LoadRows(rows)
 	for p := range t.delta {
 		t.delta[p] = pdt.NewDelta(t.store.Schema(), t.store.Partition(p).NumRows())
+		t.deltaShared[p] = false
 	}
 }
 
@@ -204,6 +286,7 @@ func (t *Table) CreatePatchIndex(column string, constraint core.Constraint, opts
 			}
 		}
 		t.indexes[column] = indexes
+		delete(t.idxShared, column)
 		return nil
 	}
 	// NSC discovery is partition-local and parallel (Section 3.2): the
@@ -219,6 +302,7 @@ func (t *Table) CreatePatchIndex(column string, constraint core.Constraint, opts
 	}
 	wg.Wait()
 	t.indexes[column] = indexes
+	delete(t.idxShared, column)
 	return nil
 }
 
@@ -234,6 +318,7 @@ func (t *Table) RestorePatchIndexes(column string, indexes []*core.Index) {
 			len(indexes), t.store.NumPartitions()))
 	}
 	t.indexes[column] = indexes
+	delete(t.idxShared, column)
 }
 
 // DropPatchIndex removes the PatchIndex on the named column.
@@ -241,29 +326,30 @@ func (t *Table) DropPatchIndex(column string) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	delete(t.indexes, column)
+	delete(t.idxShared, column)
 }
 
-// PatchIndexes returns the per-partition indexes on column, or nil.
+// PatchIndexes returns the per-partition indexes on column, or nil. The
+// returned generation is marked shared: like every other read surface,
+// the caller may keep reading it while updates proceed on fresh
+// copy-on-write generations.
 func (t *Table) PatchIndexes(column string) []*core.Index {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.indexes[column]
+	idx := t.indexes[column]
+	if idx != nil {
+		t.idxShared[column] = true
+	}
+	return idx
 }
 
-// Inputs pairs each partition's view with its PatchIndex on column for
-// the planner.
+// Inputs pairs each partition's snapshot view with its PatchIndex on
+// column for the planner. The returned inputs are one consistent
+// snapshot and stay valid while updates proceed on the table.
 func (t *Table) Inputs(column string) []plan.PartitionInput {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	idx := t.indexes[column]
-	out := make([]plan.PartitionInput, t.store.NumPartitions())
-	for p := range out {
-		out[p].View = t.viewLocked(p)
-		if idx != nil {
-			out[p].Index = idx[p]
-		}
-	}
-	return out
+	return t.inputsLocked(column)
 }
 
 // ExceptionRate returns the aggregate exception rate of the PatchIndexes
@@ -304,10 +390,38 @@ func (t *Table) Checkpoint() {
 	t.checkpointLocked()
 }
 
+// checkpointLocked propagates every partition's pending delta into base
+// storage, honoring live snapshots:
+//
+//   - An insert-only delta appends to the live partition in place.
+//     Frozen snapshot views cap their own column headers, so appends
+//     beyond the frozen length are invisible to them.
+//   - A delta with deletes or modifies would compact or overwrite shared
+//     arrays; when a snapshot references the partition, the checkpoint
+//     instead applies the delta to a clone and publishes it atomically
+//     as the new partition generation.
+//   - A delta sealed into a snapshot is not reset but replaced, leaving
+//     the sealed generation frozen.
 func (t *Table) checkpointLocked() {
 	for p := range t.delta {
-		if !t.delta[p].Empty() {
-			t.delta[p].Checkpoint(t.store.Partition(p))
+		d := t.delta[p]
+		if d.Empty() {
+			continue
+		}
+		if t.baseShared[p] && !d.InsertsOnly() {
+			next := t.store.Partition(p).Clone()
+			d.ApplyTo(next)
+			t.store.SetPartition(p, next)
+			t.baseShared[p] = false
+		} else {
+			d.ApplyTo(t.store.Partition(p))
+		}
+		newRows := t.store.Partition(p).NumRows()
+		if t.deltaShared[p] {
+			t.delta[p] = pdt.NewDelta(t.store.Schema(), newRows)
+			t.deltaShared[p] = false
+		} else {
+			d.Reset(newRows)
 		}
 	}
 }

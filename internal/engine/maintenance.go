@@ -25,11 +25,33 @@ type changedRef struct {
 	val  int64
 }
 
-// encodeRef packs a changedRef into one int64 join payload.
-func encodeRef(part int, rid uint64) int64 { return int64(part)<<40 | int64(rid) }
+// The NUC insert-handling join carries (partition, rowID) pairs packed
+// into a single int64 payload column: the low ridBits bits hold the
+// partition-local rowID, the bits above hold the partition number. The
+// packing silently corrupts for values outside these widths, so
+// encodeRef rejects them; a partition beyond 2^23 or 2^40 rows in one
+// partition is far past this reproduction's scale.
+const (
+	ridBits = 40
+	maxRID  = uint64(1)<<ridBits - 1 // largest packable partition-local rowID
+	maxPart = int(1)<<23 - 1         // keeps part<<ridBits within int64
+)
+
+// encodeRef packs a changedRef into one int64 join payload. It returns
+// an error instead of corrupting the packed bits when either component
+// exceeds its field width.
+func encodeRef(part int, rid uint64) (int64, error) {
+	if rid > maxRID {
+		return 0, fmt.Errorf("engine: rowID %d exceeds the %d-bit NUC join payload (max %d)", rid, ridBits, maxRID)
+	}
+	if part < 0 || part > maxPart {
+		return 0, fmt.Errorf("engine: partition %d exceeds the NUC join payload (max %d)", part, maxPart)
+	}
+	return int64(part)<<ridBits | int64(rid), nil
+}
 
 func decodeRef(enc int64) (part int, rid uint64) {
-	return int(enc >> 40), uint64(enc & (1<<40 - 1))
+	return int(enc >> ridBits), uint64(enc & (1<<ridBits - 1))
 }
 
 // Insert appends rows, distributing them over partitions round-robin,
@@ -57,11 +79,16 @@ func (db *Database) Insert(table string, rows []storage.Row) error {
 	baseRows := make([]int, nparts)
 	for p, prows := range perPart {
 		baseRows[p] = t.viewLocked(p).NumRows()
+		if len(prows) == 0 {
+			continue
+		}
+		d := t.mutableDeltaLocked(p)
 		for _, r := range prows {
-			t.delta[p].Insert(r)
+			d.Insert(r)
 		}
 	}
-	for column, idx := range t.indexes {
+	for column := range t.indexes {
+		idx := t.mutableIndexesLocked(column)
 		col := t.store.Schema().MustColumnIndex(column)
 		switch idx[0].ConstraintKind() {
 		case core.NearlySorted:
@@ -159,8 +186,12 @@ func (t *Table) nucCollisions(col int, changed []changedRef, changedStrs [][]str
 	buildVals := make([]int64, len(changed))
 	buildEnc := make([]int64, len(changed))
 	for i, c := range changed {
+		enc, err := encodeRef(c.part, c.rid)
+		if err != nil {
+			return nil, err
+		}
 		buildVals[i] = c.val
-		buildEnc[i] = encodeRef(c.part, c.rid)
+		buildEnc[i] = enc
 	}
 	buildSchema := storage.Schema{
 		{Name: "v", Kind: storage.KindInt64},
@@ -261,9 +292,9 @@ func (t *Table) deleteRowIDsLocked(db *Database, partition int, rowIDs []uint64)
 	for i, r := range rowIDs {
 		logical[i] = int(r)
 	}
-	t.delta[partition].DeleteRows(logical)
-	for _, idx := range t.indexes {
-		idx[partition].HandleDelete(rowIDs)
+	t.mutableDeltaLocked(partition).DeleteRows(logical)
+	for column := range t.indexes {
+		t.mutableIndexesLocked(column)[partition].HandleDelete(rowIDs)
 	}
 	if db.AutoCheckpoint {
 		t.checkpointLocked()
@@ -315,13 +346,15 @@ func (db *Database) Modify(table string, partition int, rowIDs []uint64, column 
 		return fmt.Errorf("engine: Modify rowIDs/values length mismatch")
 	}
 	col := t.store.Schema().MustColumnIndex(column)
+	d := t.mutableDeltaLocked(partition)
 	for i, r := range rowIDs {
-		t.delta[partition].Modify(int(r), col, values[i])
+		d.Modify(int(r), col, values[i])
 	}
-	for idxCol, idx := range t.indexes {
+	for idxCol := range t.indexes {
 		if idxCol != column {
 			continue
 		}
+		idx := t.mutableIndexesLocked(idxCol)
 		switch idx[0].ConstraintKind() {
 		case core.NearlySorted:
 			idx[partition].HandleModifyNSC(rowIDs)

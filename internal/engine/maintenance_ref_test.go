@@ -1,0 +1,42 @@
+package engine
+
+import "testing"
+
+// The NUC insert-handling join packs (partition, rowID) into one int64.
+// Values at the field boundaries must round-trip; values beyond them
+// must error instead of silently corrupting the packed bits (a rowID of
+// 2^40 used to alias partition+1, rowID 0).
+func TestEncodeRefBoundaries(t *testing.T) {
+	cases := []struct {
+		part int
+		rid  uint64
+	}{
+		{0, 0},
+		{0, maxRID},
+		{maxPart, 0},
+		{maxPart, maxRID},
+		{7, 1<<39 + 12345},
+	}
+	for _, c := range cases {
+		enc, err := encodeRef(c.part, c.rid)
+		if err != nil {
+			t.Fatalf("encodeRef(%d, %d) unexpectedly failed: %v", c.part, c.rid, err)
+		}
+		part, rid := decodeRef(enc)
+		if part != c.part || rid != c.rid {
+			t.Fatalf("round trip (%d, %d) -> (%d, %d)", c.part, c.rid, part, rid)
+		}
+	}
+}
+
+func TestEncodeRefOverflow(t *testing.T) {
+	if _, err := encodeRef(0, maxRID+1); err == nil {
+		t.Fatal("rowID 2^40 did not error")
+	}
+	if _, err := encodeRef(maxPart+1, 0); err == nil {
+		t.Fatal("partition 2^23 did not error")
+	}
+	if _, err := encodeRef(-1, 0); err == nil {
+		t.Fatal("negative partition did not error")
+	}
+}

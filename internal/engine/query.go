@@ -30,28 +30,29 @@ type QueryOptions struct {
 	Parallel bool
 }
 
-func (t *Table) planStats(column string) (rows, patches uint64, indexed bool) {
-	idx := t.indexes[column]
-	if idx == nil {
-		return 0, 0, false
-	}
-	for _, x := range idx {
-		rows += x.Rows()
-		patches += x.NumPatches()
-	}
-	return rows, patches, true
+// Distinct returns an operator computing DISTINCT(column). The operator
+// runs against a snapshot captured here: the table lock is released
+// before the call returns, and concurrent updates do not affect the
+// result.
+func (db *Database) Distinct(table, column string, opts QueryOptions) (exec.Operator, error) {
+	return db.MustTable(table).snapshotColumn(column).Distinct(column, opts)
 }
 
-// Distinct returns an operator computing DISTINCT(column).
-func (db *Database) Distinct(table, column string, opts QueryOptions) (exec.Operator, error) {
-	t := db.MustTable(table)
+// snapshotColumn captures a snapshot carrying only column's PatchIndex.
+func (t *Table) snapshotColumn(column string) *TableSnapshot {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	col := t.store.Schema().ColumnIndex(column)
+	return t.snapshotColumnLocked(column)
+}
+
+// Distinct returns an operator computing DISTINCT(column) over the
+// snapshot.
+func (s *TableSnapshot) Distinct(column string, opts QueryOptions) (exec.Operator, error) {
+	col := s.schema.ColumnIndex(column)
 	if col < 0 {
 		return nil, fmt.Errorf("engine: unknown column %q", column)
 	}
-	rows, patches, indexed := t.planStats(column)
+	rows, patches, indexed := s.planStats(column)
 	usePI := indexed
 	switch opts.Mode {
 	case PlanReference:
@@ -60,10 +61,10 @@ func (db *Database) Distinct(table, column string, opts QueryOptions) (exec.Oper
 		usePI = indexed && plan.UsePatchIndexForDistinct(rows, patches)
 	case PlanPatchIndex:
 		if !indexed {
-			return nil, fmt.Errorf("engine: no PatchIndex on %s.%s", table, column)
+			return nil, fmt.Errorf("engine: no PatchIndex on %s.%s", s.name, column)
 		}
 	}
-	inputs := t.inputsLocked(column)
+	inputs := s.Inputs(column)
 	popts := plan.Options{ZeroBranchPruning: opts.ZeroBranchPruning, Parallel: opts.Parallel}
 	if usePI {
 		return plan.Distinct(inputs, col, popts), nil
@@ -71,16 +72,20 @@ func (db *Database) Distinct(table, column string, opts QueryOptions) (exec.Oper
 	return plan.DistinctReference(inputs, col, popts), nil
 }
 
-// SortQuery returns an operator producing column fully sorted.
+// SortQuery returns an operator producing column fully sorted. Like
+// Distinct, it executes against a snapshot captured at call time.
 func (db *Database) SortQuery(table, column string, desc bool, opts QueryOptions) (exec.Operator, error) {
-	t := db.MustTable(table)
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	col := t.store.Schema().ColumnIndex(column)
+	return db.MustTable(table).snapshotColumn(column).SortQuery(column, desc, opts)
+}
+
+// SortQuery returns an operator producing column fully sorted over the
+// snapshot.
+func (s *TableSnapshot) SortQuery(column string, desc bool, opts QueryOptions) (exec.Operator, error) {
+	col := s.schema.ColumnIndex(column)
 	if col < 0 {
 		return nil, fmt.Errorf("engine: unknown column %q", column)
 	}
-	rows, patches, indexed := t.planStats(column)
+	rows, patches, indexed := s.planStats(column)
 	usePI := indexed
 	switch opts.Mode {
 	case PlanReference:
@@ -89,10 +94,10 @@ func (db *Database) SortQuery(table, column string, desc bool, opts QueryOptions
 		usePI = indexed && plan.UsePatchIndexForSort(rows, patches)
 	case PlanPatchIndex:
 		if !indexed {
-			return nil, fmt.Errorf("engine: no PatchIndex on %s.%s", table, column)
+			return nil, fmt.Errorf("engine: no PatchIndex on %s.%s", s.name, column)
 		}
 	}
-	inputs := t.inputsLocked(column)
+	inputs := s.Inputs(column)
 	popts := plan.Options{ZeroBranchPruning: opts.ZeroBranchPruning, Parallel: opts.Parallel}
 	if usePI {
 		return plan.Sort(inputs, col, desc, popts), nil
@@ -100,11 +105,16 @@ func (db *Database) SortQuery(table, column string, desc bool, opts QueryOptions
 	return plan.SortReference(inputs, col, desc, popts), nil
 }
 
+// inputsLocked builds snapshot planner inputs for column, marking the
+// captured generations shared.
 func (t *Table) inputsLocked(column string) []plan.PartitionInput {
 	idx := t.indexes[column]
+	if idx != nil {
+		t.idxShared[column] = true
+	}
 	out := make([]plan.PartitionInput, t.store.NumPartitions())
 	for p := range out {
-		out[p].View = t.viewLocked(p)
+		out[p].View = t.snapshotViewLocked(p)
 		if idx != nil {
 			out[p].Index = idx[p]
 		}
@@ -113,22 +123,13 @@ func (t *Table) inputsLocked(column string) []plan.PartitionInput {
 }
 
 // ScanAll returns an operator scanning the given columns of every
-// partition (unioned).
+// partition (unioned), against a snapshot captured at call time. Scans
+// never consult PatchIndexes, so only the storage views are captured.
 func (t *Table) ScanAll(columns ...string) exec.Operator {
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	cols := make([]int, len(columns))
-	for i, c := range columns {
-		cols[i] = t.store.Schema().MustColumnIndex(c)
-	}
-	parts := make([]exec.Operator, t.store.NumPartitions())
-	for p := range parts {
-		parts[p] = exec.NewScan(t.viewLocked(p), cols)
-	}
-	if len(parts) == 1 {
-		return parts[0]
-	}
-	return exec.NewUnion(parts...)
+	s := t.snapshotViewsLocked()
+	t.mu.Unlock()
+	return s.ScanAll(columns...)
 }
 
 // CollectInt64 drains a single-column BIGINT operator into a slice.

@@ -1,0 +1,164 @@
+package engine
+
+import (
+	"fmt"
+
+	"patchindex/internal/core"
+	"patchindex/internal/exec"
+	"patchindex/internal/pdt"
+	"patchindex/internal/plan"
+	"patchindex/internal/storage"
+)
+
+// TableSnapshot is an immutable, point-in-time view of one table: frozen
+// per-partition storage views (base columns capped at the captured row
+// count, merged with the sealed positional delta) plus the per-partition
+// PatchIndexes with their patch bitmaps frozen at capture time.
+//
+// This is the MVCC-lite layer standing in for the snapshot isolation the
+// paper's host system provides (Section 5.4): a query plans and executes
+// entirely against the snapshot, without holding the table lock, while
+// update queries proceed on fresh copy-on-write generations. A snapshot
+// stays valid indefinitely; holding one only costs the update path at
+// most one clone of each structure the snapshot references.
+type TableSnapshot struct {
+	name    string
+	schema  storage.Schema
+	views   []*pdt.View
+	indexes map[string][]*core.Index
+}
+
+// Snapshot captures an immutable view of the table's current state. The
+// table lock is held only for the capture itself — O(partitions +
+// indexes), no data copying.
+func (t *Table) Snapshot() *TableSnapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.snapshotLocked()
+}
+
+// SnapshotTable captures a snapshot of the named table, or panics when
+// the table does not exist.
+func (db *Database) SnapshotTable(name string) *TableSnapshot {
+	return db.MustTable(name).Snapshot()
+}
+
+func (t *Table) snapshotLocked() *TableSnapshot {
+	s := t.snapshotViewsLocked()
+	for column, idx := range t.indexes {
+		t.idxShared[column] = true
+		s.indexes[column] = idx
+	}
+	return s
+}
+
+// snapshotColumnLocked captures a snapshot carrying only the PatchIndex
+// generation of the named column. Single-column query entry points use
+// it so an update racing a Distinct("a") does not have to clone the
+// index generations of unrelated columns.
+func (t *Table) snapshotColumnLocked(column string) *TableSnapshot {
+	s := t.snapshotViewsLocked()
+	if idx := t.indexes[column]; idx != nil {
+		t.idxShared[column] = true
+		s.indexes[column] = idx
+	}
+	return s
+}
+
+func (t *Table) snapshotViewsLocked() *TableSnapshot {
+	nparts := t.store.NumPartitions()
+	s := &TableSnapshot{
+		name:    t.name,
+		schema:  t.store.Schema(),
+		views:   make([]*pdt.View, nparts),
+		indexes: make(map[string][]*core.Index, len(t.indexes)),
+	}
+	for p := range s.views {
+		s.views[p] = t.snapshotViewLocked(p)
+	}
+	return s
+}
+
+// Name returns the snapshotted table's name.
+func (s *TableSnapshot) Name() string { return s.name }
+
+// Schema returns the snapshotted table's schema.
+func (s *TableSnapshot) Schema() storage.Schema { return s.schema }
+
+// NumPartitions returns the partition count.
+func (s *TableSnapshot) NumPartitions() int { return len(s.views) }
+
+// NumRows returns the logical row count at capture time.
+func (s *TableSnapshot) NumRows() int {
+	var n int
+	for _, v := range s.views {
+		n += v.NumRows()
+	}
+	return n
+}
+
+// View returns the frozen read view of partition p.
+func (s *TableSnapshot) View(p int) *pdt.View { return s.views[p] }
+
+// Views returns the frozen read views of all partitions.
+func (s *TableSnapshot) Views() []*pdt.View { return s.views }
+
+// PatchIndexes returns the frozen per-partition indexes on column, or
+// nil when no PatchIndex existed at capture time.
+func (s *TableSnapshot) PatchIndexes(column string) []*core.Index {
+	return s.indexes[column]
+}
+
+// Inputs pairs each partition's frozen view with its frozen PatchIndex
+// on column for the planner.
+func (s *TableSnapshot) Inputs(column string) []plan.PartitionInput {
+	idx := s.indexes[column]
+	out := make([]plan.PartitionInput, len(s.views))
+	for p := range out {
+		out[p].View = s.views[p]
+		if idx != nil {
+			out[p].Index = idx[p]
+		}
+	}
+	return out
+}
+
+// planStats aggregates index statistics for the cost model.
+func (s *TableSnapshot) planStats(column string) (rows, patches uint64, indexed bool) {
+	idx := s.indexes[column]
+	if idx == nil {
+		return 0, 0, false
+	}
+	for _, x := range idx {
+		rows += x.Rows()
+		patches += x.NumPatches()
+	}
+	return rows, patches, true
+}
+
+// ScanAll returns an operator scanning the given columns of every
+// partition of the snapshot (unioned).
+func (s *TableSnapshot) ScanAll(columns ...string) exec.Operator {
+	cols := make([]int, len(columns))
+	for i, c := range columns {
+		cols[i] = s.schema.MustColumnIndex(c)
+	}
+	parts := make([]exec.Operator, len(s.views))
+	for p := range parts {
+		parts[p] = exec.NewScan(s.views[p], cols)
+	}
+	if len(parts) == 1 {
+		return parts[0]
+	}
+	return exec.NewUnion(parts...)
+}
+
+// MustKind returns the kind of the named column.
+func (s *TableSnapshot) MustKind(column string) storage.Kind {
+	return s.schema[s.schema.MustColumnIndex(column)].Kind
+}
+
+// String summarizes the snapshot for debugging.
+func (s *TableSnapshot) String() string {
+	return fmt.Sprintf("snapshot(%s, %d partitions, %d rows)", s.name, len(s.views), s.NumRows())
+}

@@ -174,15 +174,41 @@ func (d *Delta) Modify(logical, col int, v storage.Value) {
 // scanning the PDTs of the current query", Section 5.1).
 func (d *Delta) InsertColumn(col int) *storage.Column { return d.inserts[col] }
 
-// Checkpoint propagates the delta into the base partition and resets the
-// delta: deletes compact the base columns, modifies are applied in place,
-// and the insert buffer is appended.
-func (d *Delta) Checkpoint(base *storage.Partition) {
+// Clone returns a deep copy of the delta. The engine's snapshot layer
+// uses it for copy-on-write: a delta captured by a live snapshot is
+// cloned before the next update mutates it, so the snapshot's sealed
+// generation stays frozen.
+func (d *Delta) Clone() *Delta {
+	n := &Delta{schema: d.schema, baseRows: d.baseRows}
+	n.inserts = make([]*storage.Column, len(d.inserts))
+	for i, c := range d.inserts {
+		n.inserts[i] = c.Clone()
+	}
+	n.deletes = append([]int(nil), d.deletes...)
+	n.modifies = make([]map[int]storage.Value, len(d.modifies))
+	for i, m := range d.modifies {
+		if len(m) == 0 {
+			continue
+		}
+		cp := make(map[int]storage.Value, len(m))
+		for pos, v := range m {
+			cp[pos] = v
+		}
+		n.modifies[i] = cp
+	}
+	return n
+}
+
+// ApplyTo propagates the delta into the base partition without touching
+// the delta itself: modifies are applied in place, deletes compact the
+// base columns, and the insert buffer is appended. Callers that keep
+// using the delta afterwards must Reset it (or replace it) so it does
+// not apply twice; Checkpoint bundles both steps.
+func (d *Delta) ApplyTo(base *storage.Partition) {
 	for col, m := range d.modifies {
 		for pos, v := range m {
 			base.SetValue(pos, col, v)
 		}
-		d.modifies[col] = nil
 	}
 	if len(d.deletes) > 0 {
 		positions := make([]uint64, len(d.deletes))
@@ -190,7 +216,6 @@ func (d *Delta) Checkpoint(base *storage.Partition) {
 			positions[i] = uint64(p)
 		}
 		base.DeleteRows(positions)
-		d.deletes = d.deletes[:0]
 	}
 	for i := 0; i < d.NumInserts(); i++ {
 		row := make(storage.Row, len(d.inserts))
@@ -199,10 +224,27 @@ func (d *Delta) Checkpoint(base *storage.Partition) {
 		}
 		base.AppendRow(row)
 	}
+}
+
+// Reset empties the delta and re-anchors it to a base partition that now
+// holds baseRows rows.
+func (d *Delta) Reset(baseRows int) {
 	for i, def := range d.schema {
 		d.inserts[i] = storage.NewColumn(def.Name, def.Kind)
 	}
-	d.baseRows = base.NumRows()
+	d.deletes = d.deletes[:0]
+	for i := range d.modifies {
+		d.modifies[i] = nil
+	}
+	d.baseRows = baseRows
+}
+
+// Checkpoint propagates the delta into the base partition and resets the
+// delta: deletes compact the base columns, modifies are applied in place,
+// and the insert buffer is appended.
+func (d *Delta) Checkpoint(base *storage.Partition) {
+	d.ApplyTo(base)
+	d.Reset(base.NumRows())
 }
 
 // View merges a base partition with its pending delta for reading.

@@ -280,3 +280,60 @@ func TestDeltaDeleteRows(t *testing.T) {
 		}
 	}
 }
+
+func TestDeltaCloneIndependence(t *testing.T) {
+	base := basePartition(10)
+	d := NewDelta(schema2(), base.NumRows())
+	d.Insert(storage.Row{storage.I64(100), storage.I64(200)})
+	d.Delete(0)
+	d.Modify(0, 0, storage.I64(-1)) // logical 0 is now base pos 1
+	c := d.Clone()
+
+	// Mutate the original; the clone must keep the sealed state.
+	d.Insert(storage.Row{storage.I64(101), storage.I64(201)})
+	d.Delete(0)
+	d.Modify(0, 0, storage.I64(-2))
+
+	if c.NumRows() != 10 || c.NumInserts() != 1 || c.NumDeletes() != 1 {
+		t.Fatalf("clone counts changed: rows=%d inserts=%d deletes=%d", c.NumRows(), c.NumInserts(), c.NumDeletes())
+	}
+	v := NewView(base, c)
+	if got := v.Get(0, 0).I; got != -1 {
+		t.Fatalf("clone modify = %d, want -1", got)
+	}
+	if got := v.Get(9, 0).I; got != 100 {
+		t.Fatalf("clone insert = %d, want 100", got)
+	}
+}
+
+func TestApplyToPlusResetEqualsCheckpoint(t *testing.T) {
+	mkDelta := func(base *storage.Partition) *Delta {
+		d := NewDelta(schema2(), base.NumRows())
+		d.Insert(storage.Row{storage.I64(100), storage.I64(200)})
+		d.Delete(2)
+		d.Modify(0, 1, storage.I64(-5))
+		return d
+	}
+	b1 := basePartition(8)
+	d1 := mkDelta(b1)
+	d1.Checkpoint(b1)
+
+	b2 := basePartition(8)
+	d2 := mkDelta(b2)
+	d2.ApplyTo(b2)
+	d2.Reset(b2.NumRows())
+
+	if b1.NumRows() != b2.NumRows() {
+		t.Fatalf("row counts differ: %d vs %d", b1.NumRows(), b2.NumRows())
+	}
+	for i := 0; i < b1.NumRows(); i++ {
+		for col := 0; col < 2; col++ {
+			if b1.Column(col).Int64At(i) != b2.Column(col).Int64At(i) {
+				t.Fatalf("mismatch at row %d col %d", i, col)
+			}
+		}
+	}
+	if !d2.Empty() || d2.BaseRows() != b2.NumRows() {
+		t.Fatal("Reset did not empty or re-anchor the delta")
+	}
+}

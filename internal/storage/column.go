@@ -127,6 +127,23 @@ func deleteCompact[T any](data []T, positions []uint64) []T {
 	return data[:w]
 }
 
+// Freeze returns a read-only view of the column with its own slice
+// headers, capped at the current length. The backing arrays are shared
+// with the live column: appends to the live column never affect the
+// frozen view (they write beyond the frozen length, or reallocate), so
+// frozen views support the engine's append-in-place checkpoint path.
+// In-place overwrites or compactions of the live column DO show through;
+// the engine routes those through Clone + generation swap instead.
+func (c *Column) Freeze() *Column {
+	return &Column{
+		Name:    c.Name,
+		Kind:    c.Kind,
+		ints:    c.ints[:len(c.ints):len(c.ints)],
+		floats:  c.floats[:len(c.floats):len(c.floats)],
+		strings: c.strings[:len(c.strings):len(c.strings)],
+	}
+}
+
 // Clone returns a deep copy of the column.
 func (c *Column) Clone() *Column {
 	n := &Column{Name: c.Name, Kind: c.Kind}

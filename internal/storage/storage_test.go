@@ -283,3 +283,54 @@ func TestTableSizeBytes(t *testing.T) {
 		t.Fatalf("SizeBytes = %d, want 800", got)
 	}
 }
+
+func TestColumnFreezeIsolatedFromAppends(t *testing.T) {
+	c := NewColumn("x", KindInt64)
+	for i := 0; i < 4; i++ {
+		c.AppendInt64(int64(i))
+	}
+	f := c.Freeze()
+	c.AppendInt64(99)
+	if f.Len() != 4 {
+		t.Fatalf("frozen Len = %d, want 4", f.Len())
+	}
+	if c.Len() != 5 {
+		t.Fatalf("live Len = %d, want 5", c.Len())
+	}
+	for i := 0; i < 4; i++ {
+		if f.Int64At(i) != int64(i) {
+			t.Fatalf("frozen value %d changed", i)
+		}
+	}
+}
+
+func TestPartitionFreezeAndSetPartition(t *testing.T) {
+	tb := NewTable("t", Schema{{Name: "k", Kind: KindInt64}}, 1)
+	for i := 0; i < 10; i++ {
+		tb.AppendRow(0, Row{I64(int64(i))})
+	}
+	frozen := tb.Partition(0).Freeze()
+	if frozen.NumRows() != 10 {
+		t.Fatalf("frozen NumRows = %d, want 10", frozen.NumRows())
+	}
+	// Appends to the live partition are invisible to the frozen view.
+	tb.AppendRow(0, Row{I64(100)})
+	if frozen.NumRows() != 10 {
+		t.Fatalf("frozen NumRows after append = %d, want 10", frozen.NumRows())
+	}
+	// Publishing a new generation leaves the frozen view untouched.
+	next := tb.Partition(0).Clone()
+	next.DeleteRows([]uint64{0, 1, 2})
+	tb.SetPartition(0, next)
+	if tb.Partition(0).NumRows() != 8 {
+		t.Fatalf("live NumRows = %d, want 8", tb.Partition(0).NumRows())
+	}
+	if frozen.NumRows() != 10 || frozen.Column(0).Int64At(0) != 0 {
+		t.Fatal("frozen view disturbed by SetPartition")
+	}
+	// The frozen minmax cache is independent of the live partition's.
+	mm := frozen.MinMax(0)
+	if mm.Rows() != 10 {
+		t.Fatalf("frozen minmax rows = %d, want 10", mm.Rows())
+	}
+}

@@ -3,6 +3,7 @@ package storage
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Partition is one horizontal slice of a table: a set of equally long
@@ -11,7 +12,9 @@ import (
 type Partition struct {
 	schema Schema
 	cols   []*Column
-	minmax []*MinMax // per column, int64 columns only, nil until built
+
+	mmMu   sync.Mutex // guards minmax: frozen partitions are read concurrently
+	minmax []*MinMax  // per column, int64 columns only, nil until built
 }
 
 // NewPartition returns an empty partition with the given schema.
@@ -76,6 +79,8 @@ func (p *Partition) MinMax(col int) *MinMax {
 	if p.schema[col].Kind != KindInt64 {
 		return nil
 	}
+	p.mmMu.Lock()
+	defer p.mmMu.Unlock()
 	if p.minmax[col] == nil || p.minmax[col].Rows() != p.NumRows() {
 		p.minmax[col] = BuildMinMax(p.cols[col].Int64s())
 	}
@@ -98,11 +103,27 @@ func (p *Partition) SizeBytes() uint64 {
 }
 
 // Clone returns a deep copy of the partition (used by SortKey, which
-// physically reorders data).
+// physically reorders data, and by the engine's copy-on-write checkpoint
+// path when a live snapshot references the current generation).
 func (p *Partition) Clone() *Partition {
 	n := &Partition{schema: p.schema, cols: make([]*Column, len(p.cols)), minmax: make([]*MinMax, len(p.cols))}
 	for i, c := range p.cols {
 		n.cols[i] = c.Clone()
+	}
+	return n
+}
+
+// Freeze returns an immutable snapshot view of the partition: fresh
+// column headers capped at the current row count and an independent
+// minmax cache, sharing the backing arrays with the live partition. A
+// frozen partition stays valid while the live one receives appends; any
+// in-place overwrite or compaction of the live partition must go through
+// Clone + swap instead (the engine enforces this via its generation
+// tracking).
+func (p *Partition) Freeze() *Partition {
+	n := &Partition{schema: p.schema, cols: make([]*Column, len(p.cols)), minmax: make([]*MinMax, len(p.cols))}
+	for i, c := range p.cols {
+		n.cols[i] = c.Freeze()
 	}
 	return n
 }
@@ -134,6 +155,17 @@ func (t *Table) NumPartitions() int { return len(t.parts) }
 
 // Partition returns partition i.
 func (t *Table) Partition(i int) *Partition { return t.parts[i] }
+
+// SetPartition atomically publishes a new generation of partition i.
+// The old partition object is left untouched, so snapshot views that
+// froze it remain valid. Callers must serialize SetPartition with other
+// table mutations (the engine holds the table lock).
+func (t *Table) SetPartition(i int, p *Partition) {
+	if len(p.schema) != len(t.schema) {
+		panic(fmt.Sprintf("storage: SetPartition schema mismatch on table %q", t.Name))
+	}
+	t.parts[i] = p
+}
 
 // NumRows returns the total row count across partitions.
 func (t *Table) NumRows() int {

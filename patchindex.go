@@ -14,7 +14,9 @@
 //     PatchIndex query optimizations (Section 3.3)
 //   - internal/storage, internal/pdt: columnar storage, minmax
 //     summaries, positional delta updates
-//   - internal/engine: the database tying everything together
+//   - internal/engine: the database tying everything together, with
+//     snapshot-isolated queries running concurrently with update
+//     queries (Section 5.4)
 //   - internal/matview, internal/sortkey, internal/joinindex: the
 //     comparator materialization approaches of the evaluation
 //   - internal/datagen, internal/tpch: the paper's data generator and
@@ -48,6 +50,9 @@ type (
 	Database = engine.Database
 	// Table is one partitioned table.
 	Table = engine.Table
+	// TableSnapshot is an immutable point-in-time view of one table;
+	// queries built on it run lock-free while updates proceed.
+	TableSnapshot = engine.TableSnapshot
 	// QueryOptions tune the query entry points (plan mode, zero-branch
 	// pruning, partition parallelism).
 	QueryOptions = engine.QueryOptions
