@@ -61,6 +61,9 @@ func main() {
 	if err := db.DeleteRowIDs("demo", 0, []uint64{3}); err != nil {
 		log.Fatal(err)
 	}
+	// PatchIndexes hands out a frozen snapshot copy, so re-fetch to
+	// observe the post-delete state rather than the pinned capture.
+	x = t.PatchIndexes("v")[0]
 	fmt.Printf("   patches now: %v, rows=%d\n", x.Patches(), x.Rows())
 
 	op, _ = db.SortQuery("demo", "v", false, patchindex.QueryOptions{Mode: patchindex.PlanPatchIndex})

@@ -38,11 +38,18 @@ func main() {
 	fmt.Printf("JoinIndex lineitem⋈orders created in %v (%.1f KB)\n",
 		time.Since(start), float64(ji.MemoryBytes())/1024)
 
+	// One DatabaseSnapshot for the whole mode matrix: all tables are
+	// captured atomically at one instant, so every query in every mode
+	// reads the same multi-table state — results stay comparable even if
+	// refreshes were running concurrently.
+	snap := ds.Snapshot()
+	defer snap.Close()
+	qs := ds.QueriesAt(snap)
 	queries := []struct {
 		name string
 		run  func(tpch.Mode, *joinindex.Index) (exec.Operator, error)
 	}{
-		{"Q3", ds.Q3}, {"Q7", ds.Q7}, {"Q12", ds.Q12},
+		{"Q3", qs.Q3}, {"Q7", qs.Q7}, {"Q12", qs.Q12},
 	}
 	for _, q := range queries {
 		var baseline int

@@ -29,26 +29,28 @@ func (s *Sharded) BulkDelete(positions []uint64) {
 		panic(fmt.Sprintf("bitmap: BulkDelete position %d out of range [0,%d)", positions[len(positions)-1], s.n))
 	}
 
-	// Step 1: group by shard, recording physical bit offsets.
+	// Step 1: group by shard, recording shard-relative bit offsets.
 	type shardWork struct {
 		shard uint64
-		phys  []uint64 // absolute physical positions, ascending
+		offs  []uint64 // bit offsets within the shard, ascending
 	}
 	var work []shardWork
 	for _, p := range positions {
-		sh, phys := s.locate(p)
+		sh, off := s.locate(p)
 		if len(work) > 0 && work[len(work)-1].shard == sh {
 			last := &work[len(work)-1]
-			if phys == last.phys[len(last.phys)-1] {
+			if off == last.offs[len(last.offs)-1] {
 				panic("bitmap: BulkDelete positions must be distinct")
 			}
-			last.phys = append(last.phys, phys)
+			last.offs = append(last.offs, off)
 			continue
 		}
-		work = append(work, shardWork{shard: sh, phys: []uint64{phys}})
+		work = append(work, shardWork{shard: sh, offs: []uint64{off}})
 	}
 
-	// Step 2: shift within each affected shard in parallel.
+	// Step 2: shift within each affected shard in parallel. Each worker
+	// owns disjoint shards, so the copy-on-write in mutableShard touches
+	// disjoint shards/shared entries and needs no extra locking.
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(work) {
 		workers = len(work)
@@ -64,19 +66,20 @@ func (s *Sharded) BulkDelete(positions []uint64) {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				s.deleteWithinShard(work[i].shard, work[i].phys)
+				s.deleteWithinShard(work[i].shard, work[i].offs)
 			}
 		}()
 	}
 	wg.Wait()
 
 	// Step 3: adapt start values with a running sum of deleted bits.
+	starts := s.mutableStarts()
 	var deleted uint64
 	wi := 0
-	for sh := 0; sh < len(s.starts); sh++ {
-		s.starts[sh] -= deleted
+	for sh := 0; sh < len(starts); sh++ {
+		starts[sh] -= deleted
 		if wi < len(work) && work[wi].shard == uint64(sh) {
-			deleted += uint64(len(work[wi].phys))
+			deleted += uint64(len(work[wi].offs))
 			wi++
 		}
 	}
@@ -84,56 +87,126 @@ func (s *Sharded) BulkDelete(positions []uint64) {
 	s.lost += deleted
 }
 
-// deleteWithinShard performs the intra-shard shifts for one shard. phys
-// holds absolute physical positions in ascending order; they are
+// deleteWithinShard performs the intra-shard shifts for one shard. offs
+// holds shard-relative bit offsets in ascending order; they are
 // processed descending so earlier deletes do not invalidate later
 // offsets. The shard's dead region is cleared afterwards so Grow can
 // expose zeroed slots.
-func (s *Sharded) deleteWithinShard(sh uint64, phys []uint64) {
+func (s *Sharded) deleteWithinShard(sh uint64, offs []uint64) {
 	live := s.liveBits(sh)
-	shardStart := sh * s.shardBits
-	liveEnd := shardStart + live
-	for i := len(phys) - 1; i >= 0; i-- {
+	words := s.mutableShard(sh)
+	for i := len(offs) - 1; i >= 0; i-- {
 		if s.vectorized {
-			shiftTailLeftOneVec(s.words, phys[i], liveEnd)
+			shiftTailLeftOneVec(words, offs[i], live)
 		} else {
-			shiftTailLeftOne(s.words, phys[i], liveEnd)
+			shiftTailLeftOne(words, offs[i], live)
 		}
 	}
-	clearBits(s.words, liveEnd-uint64(len(phys)), uint64(len(phys)))
+	clearBits(words, live-uint64(len(offs)), uint64(len(offs)))
 }
 
 // Condense reclaims the dead slots that deletes leave at the end of each
 // shard (Section 4.2.4): a single traversal shifts the live bits of
 // subsequent shards down into the gaps and resets the start values, so
-// the structure's utilization returns to 1.
+// the structure's utilization returns to 1. When no shard is shared with
+// a Freeze partner the compaction runs in place, allocation-free like
+// the pre-COW implementation; otherwise Condense writes into freshly
+// allocated shards so it never disturbs the partner, and leaves the
+// bitmap fully un-shared.
 func (s *Sharded) Condense() {
 	if s.lost == 0 {
 		return
 	}
-	var writePhys uint64
+	needShards := int((s.n + s.shardBits - 1) / s.shardBits)
+	if needShards == 0 {
+		needShards = 1
+	}
+	anyShared := !s.startsMut
+	for _, sh := range s.shared {
+		if sh {
+			anyShared = true
+			break
+		}
+	}
+	// In place when every shard is privately owned: the move only ever
+	// shifts bits towards lower positions, so a low-to-high masked copy
+	// never overwrites unread source bits. With a Freeze partner the
+	// bits are packed into fresh shards instead.
+	dst := s.shards
+	if anyShared {
+		dst = make([][]uint64, needShards)
+		for i := range dst {
+			dst[i] = make([]uint64, s.shardWords)
+		}
+	}
+	var writePos uint64 // dense physical position across dst
 	for sh := range s.starts {
 		live := s.liveBits(uint64(sh))
-		readPhys := uint64(sh) * s.shardBits
-		copyBitsDown(s.words, writePhys, readPhys, live)
-		writePhys += live
+		s.moveBitsDown(dst, writePos, s.shards[sh], live)
+		writePos += live
 	}
-	clearBits(s.words, writePhys, uint64(len(s.words))*wordBits-writePhys)
-	// Physical layout is dense again; restore shard-aligned start values.
+	if anyShared {
+		s.shards = dst
+		s.shared = make([]bool, needShards)
+		s.starts = make([]uint64, needShards)
+	} else {
+		// Clear the vacated tail of the kept shards so Grow can expose
+		// zeroed dead slots; dropped trailing shards need no clearing.
+		s.clearRange(writePos, uint64(needShards)*s.shardBits-writePos)
+		s.shards = s.shards[:needShards]
+		s.shared = s.shared[:needShards]
+		s.starts = s.starts[:needShards]
+	}
 	for sh := range s.starts {
 		s.starts[sh] = uint64(sh) * s.shardBits
 		if s.starts[sh] > s.n {
 			s.starts[sh] = s.n
 		}
 	}
-	// Drop now-empty trailing shards, keeping at least one.
-	needShards := int((s.n + s.shardBits - 1) / s.shardBits)
-	if needShards == 0 {
-		needShards = 1
-	}
-	if needShards < len(s.starts) {
-		s.starts = s.starts[:needShards]
-		s.words = s.words[:uint64(needShards)*s.shardWords]
-	}
+	s.startsMut = true
 	s.lost = 0
+}
+
+// moveBitsDown copies the leading count bits of src into the per-shard
+// destination layout at physical position pos, preserving destination
+// bits outside the copied range. dst may alias the source shards as
+// long as the move is towards lower positions (pos no greater than the
+// source bits' physical position): chunks proceed low-to-high, and a
+// chunk's masked write never touches source bits that are still to be
+// read.
+func (s *Sharded) moveBitsDown(dst [][]uint64, pos uint64, src []uint64, count uint64) {
+	var srcOff uint64
+	logShardWords := s.logShard - logWord
+	for count > 0 {
+		// Fill at most the remainder of the current destination word.
+		chunk := wordBits - pos&wordMask
+		if chunk > count {
+			chunk = count
+		}
+		v := readBits(src, srcOff, chunk)
+		w := pos >> logWord
+		words := dst[w>>logShardWords]
+		idx := w & (s.shardWords - 1)
+		mask := maskRange(pos&wordMask, chunk)
+		words[idx] = words[idx]&^mask | v<<(pos&wordMask)&mask
+		pos += chunk
+		srcOff += chunk
+		count -= chunk
+	}
+}
+
+// clearRange clears count bits starting at physical position pos across
+// the per-shard layout.
+func (s *Sharded) clearRange(pos, count uint64) {
+	logShardWords := s.logShard - logWord
+	for count > 0 {
+		chunk := wordBits - pos&wordMask
+		if chunk > count {
+			chunk = count
+		}
+		w := pos >> logWord
+		s.shards[w>>logShardWords][w&(s.shardWords-1)] &^= maskRange(pos&wordMask, chunk)
+		pos += chunk
+		count -= chunk
+	}
 }

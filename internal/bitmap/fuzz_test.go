@@ -1,0 +1,145 @@
+package bitmap
+
+import (
+	"fmt"
+	"testing"
+)
+
+// refModel is the naive reference model for FuzzShardedOps: one bool per
+// live logical position (the slice form of a map[uint64]bool keyed by
+// position — a slice because Delete shifts all subsequent positions,
+// which is a re-keying on the map but a plain removal on the slice).
+type refModel []bool
+
+func (m refModel) clone() refModel { return append(refModel(nil), m...) }
+
+// checkAgainstModel verifies every read surface of s against the model:
+// Len, Get at every position, Count, SetBits and both AppendSel modes.
+func checkAgainstModel(t *testing.T, label string, s *Sharded, m refModel) {
+	t.Helper()
+	if s.Len() != uint64(len(m)) {
+		t.Fatalf("%s: Len = %d, model %d", label, s.Len(), len(m))
+	}
+	var wantCount uint64
+	var wantSet []uint64
+	for i, b := range m {
+		if got := s.Get(uint64(i)); got != b {
+			t.Fatalf("%s: Get(%d) = %v, model %v", label, i, got, b)
+		}
+		if b {
+			wantCount++
+			wantSet = append(wantSet, uint64(i))
+		}
+	}
+	if got := s.Count(); got != wantCount {
+		t.Fatalf("%s: Count = %d, model %d", label, got, wantCount)
+	}
+	if got := s.SetBits(); fmt.Sprint(got) != fmt.Sprint(wantSet) {
+		t.Fatalf("%s: SetBits = %v, model %v", label, got, wantSet)
+	}
+	if len(m) > 0 {
+		var sel, inv []int32
+		sel = s.AppendSel(0, uint64(len(m)), false, sel)
+		inv = s.AppendSel(0, uint64(len(m)), true, inv)
+		if len(sel) != int(wantCount) || len(inv) != len(m)-int(wantCount) {
+			t.Fatalf("%s: AppendSel %d/%d, model %d/%d", label, len(sel), len(inv), wantCount, len(m)-int(wantCount))
+		}
+		for i, off := range sel {
+			if uint64(off) != wantSet[i] {
+				t.Fatalf("%s: AppendSel[%d] = %d, model %d", label, i, off, wantSet[i])
+			}
+		}
+	}
+}
+
+// FuzzShardedOps drives random interleavings of Set/Unset/Delete/
+// BulkDelete/Grow/Condense/Freeze against the naive reference model.
+// Every Freeze pins the model state of that instant; after the whole op
+// sequence ran on the live bitmap, the live state and every frozen
+// snapshot are verified bit for bit — so shard-granularity sharing
+// cannot silently corrupt a snapshot's (or a neighbor shard's) bits
+// without this fuzz target noticing.
+func FuzzShardedOps(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11})
+	f.Add([]byte{2, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11})
+	f.Add([]byte{6, 250, 5, 17, 3, 100, 7, 0, 4, 200, 1, 63, 5, 1})
+	f.Add([]byte{0, 5, 10, 15, 3, 200, 3, 100, 5, 0, 1, 255, 6, 9})
+	f.Add([]byte{4, 250, 0, 17, 5, 0, 3, 17, 3, 0, 7, 0, 4, 9, 1, 63})
+	f.Add([]byte{5, 0, 3, 1, 3, 1, 3, 1, 6, 2, 5, 0, 0, 120, 2, 120})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Alternate between single-word shards (most shard boundaries)
+		// and multi-word shards (exercises the word indexing inside one
+		// shard), steered by the input.
+		shardBits := uint64(MinShardBits)
+		if len(data) > 0 && data[0]&2 != 0 {
+			shardBits = 2 * MinShardBits
+		}
+		n := 2*shardBits + 26 // spans several shards either way
+		s := NewSharded(n, shardBits)
+		if len(data) > 0 && data[0]&1 == 0 {
+			s.SetVectorized(false)
+		}
+		model := make(refModel, n)
+		type pinned struct {
+			s *Sharded
+			m refModel
+		}
+		var frozen []pinned
+
+		for i := 0; i+1 < len(data) && len(frozen) < 8; i += 2 {
+			op, arg := data[i]%8, uint64(data[i+1])
+			n := uint64(len(model))
+			switch op {
+			case 0, 1: // Set
+				if n > 0 {
+					p := arg % n
+					s.Set(p)
+					model[p] = true
+				}
+			case 2: // Unset
+				if n > 0 {
+					p := arg % n
+					s.Unset(p)
+					model[p] = false
+				}
+			case 3: // Delete (intra-shard shift + start adaption)
+				if n > 0 {
+					p := arg % n
+					s.Delete(p)
+					model = append(model[:p], model[p+1:]...)
+				}
+			case 4: // Grow
+				k := arg%(shardBits+3) + 1
+				s.Grow(k)
+				model = append(model, make(refModel, k)...)
+			case 5: // Freeze: pin the current state for end verification
+				frozen = append(frozen, pinned{s: s.Freeze(), m: model.clone()})
+			case 6: // BulkDelete of up to 3 distinct positions
+				if n > 0 {
+					seen := map[uint64]bool{}
+					for _, cand := range []uint64{arg % n, (arg * 7) % n, (arg*13 + 5) % n} {
+						seen[cand] = true
+					}
+					var ps []uint64
+					for p := uint64(0); p < n; p++ {
+						if seen[p] {
+							ps = append(ps, p)
+						}
+					}
+					s.BulkDelete(ps)
+					for j := len(ps) - 1; j >= 0; j-- {
+						p := ps[j]
+						model = append(model[:p], model[p+1:]...)
+					}
+				}
+			case 7: // Condense
+				s.Condense()
+			}
+		}
+
+		checkAgainstModel(t, "live", s, model)
+		for i, fr := range frozen {
+			checkAgainstModel(t, fmt.Sprintf("frozen[%d]", i), fr.s, fr.m)
+		}
+	})
+}

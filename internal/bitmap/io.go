@@ -65,8 +65,16 @@ func (s *Sharded) WriteTo(w io.Writer) (int64, error) {
 	if err != nil {
 		return written, err
 	}
-	n, err = writeWords(w, s.words)
-	return written + n, err
+	// Shard words are written back to back, preserving the on-disk
+	// format of the earlier flat layout.
+	for _, shard := range s.shards {
+		n, err = writeWords(w, shard)
+		written += n
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, nil
 }
 
 // ReadFrom deserializes a sharded bitmap previously written with WriteTo.
@@ -95,9 +103,18 @@ func (s *Sharded) ReadFrom(r io.Reader) (int64, error) {
 	if err != nil {
 		return read, err
 	}
-	s.words = make([]uint64, numShards*s.shardWords)
-	n, err = readWords(r, s.words)
-	return read + n, err
+	s.shards = make([][]uint64, numShards)
+	s.shared = make([]bool, numShards)
+	s.startsMut = true
+	for i := range s.shards {
+		s.shards[i] = make([]uint64, s.shardWords)
+		n, err = readWords(r, s.shards[i])
+		read += n
+		if err != nil {
+			return read, err
+		}
+	}
+	return read, nil
 }
 
 func writeWords(w io.Writer, words []uint64) (int64, error) {

@@ -36,48 +36,61 @@ func TestQuickShiftKernelsEquivalent(t *testing.T) {
 	}
 }
 
-// TestQuickCopyBitsDown checks the condense copy helper against a
-// bit-by-bit oracle for random overlapping down-copies.
-func TestQuickCopyBitsDown(t *testing.T) {
-	f := func(seed int64, dstRaw, gapRaw, countRaw uint16) bool {
-		rng := rand.New(rand.NewSource(seed))
-		const nWords = 10
-		words := make([]uint64, nWords)
-		for i := range words {
-			words[i] = rng.Uint64()
-		}
-		total := uint64(nWords * wordBits)
-		dst := uint64(dstRaw) % (total / 2)
-		src := dst + uint64(gapRaw)%(total/4)
-		maxCount := total - src
-		count := uint64(countRaw) % (maxCount + 1)
+// TestQuickMoveBitsDown checks the condense copy helper against a
+// bit-by-bit oracle for random overlapping down-moves across the
+// per-shard layout, mirroring its production use: the source is the
+// leading bits of one shard, the destination an arbitrary lower
+// position possibly spanning earlier shards or overlapping the source
+// shard itself. Both single-word and multi-word shards are covered.
+func TestQuickMoveBitsDown(t *testing.T) {
+	for _, shardBits := range []uint64{64, 128} {
+		shardBits := shardBits
+		f := func(seed int64, shRaw, posRaw, countRaw uint16) bool {
+			rng := rand.New(rand.NewSource(seed))
+			const nShards = 8
+			s := NewSharded(nShards*shardBits, shardBits)
+			orig := make([][]uint64, nShards)
+			for i := 0; i < nShards; i++ {
+				orig[i] = make([]uint64, s.shardWords)
+				for w := range orig[i] {
+					orig[i][w] = rng.Uint64()
+					s.shards[i][w] = orig[i][w]
+				}
+			}
+			getBit := func(words []uint64, p uint64) bool {
+				return words[p>>logWord]&(1<<(p&wordMask)) != 0
+			}
+			sh := uint64(shRaw) % nShards
+			count := uint64(countRaw) % (shardBits + 1)
+			pos := uint64(posRaw) % (sh*shardBits + 1) // dst <= src position
 
-		// Oracle: extract source bits first, then write them.
-		ref := make([]bool, count)
-		for i := uint64(0); i < count; i++ {
-			p := src + i
-			ref[i] = words[p>>logWord]&(1<<(p&wordMask)) != 0
-		}
-		got := make([]uint64, nWords)
-		copy(got, words)
-		copyBitsDown(got, dst, src, count)
-		for i := uint64(0); i < count; i++ {
-			p := dst + i
-			b := got[p>>logWord]&(1<<(p&wordMask)) != 0
-			if b != ref[i] {
-				return false
+			// Oracle: extract the source bits first, then move.
+			ref := make([]bool, count)
+			for i := uint64(0); i < count; i++ {
+				ref[i] = getBit(orig[sh], i)
 			}
-		}
-		// Bits below dst must be untouched.
-		for i := uint64(0); i < dst; i++ {
-			if got[i>>logWord]&(1<<(i&wordMask)) != words[i>>logWord]&(1<<(i&wordMask)) {
-				return false
+			s.moveBitsDown(s.shards, pos, s.shards[sh], count)
+
+			flat := func(p uint64) bool { return getBit(s.shards[p>>s.logShard], p&(shardBits-1)) }
+			for i := uint64(0); i < count; i++ {
+				if flat(pos+i) != ref[i] {
+					return false
+				}
 			}
+			// Every bit outside [pos, pos+count) must be untouched.
+			for p := uint64(0); p < nShards*shardBits; p++ {
+				if p >= pos && p < pos+count {
+					continue
+				}
+				if flat(p) != getBit(orig[p>>s.logShard], p&(shardBits-1)) {
+					return false
+				}
+			}
+			return true
 		}
-		return true
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
-		t.Fatal(err)
+		if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+			t.Fatalf("shardBits=%d: %v", shardBits, err)
+		}
 	}
 }
 

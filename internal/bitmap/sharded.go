@@ -22,22 +22,33 @@ const MinShardBits = wordBits
 // values of subsequent shards, so deletes cost O(shard size + #shards)
 // instead of O(bitmap size).
 //
-// Physical layout: words is split into consecutive shard regions of
-// shardWords words each. Shard s holds live logical positions
-// [starts[s], liveEnd(s)) in its leading bits; the trailing bits of a
-// shard become dead ("lost") slots as deletes accumulate, until Condense
-// reclaims them.
+// Physical layout: every shard owns its own word slice of shardWords
+// words. Shard s holds live logical positions [starts[s], liveEnd(s)) in
+// its leading bits; the trailing bits of a shard become dead ("lost")
+// slots as deletes accumulate, until Condense reclaims them.
 //
-// Sharded is not safe for concurrent use; see Concurrent for a wrapper
-// with per-shard locking (Section 5.4).
+// The per-shard storage enables shard-granularity copy-on-write: Freeze
+// returns a second Sharded sharing every shard's words, with both sides
+// marked shared. The first mutation of a shared shard copies just that
+// shard (mutableShard), so holding a frozen snapshot costs the writer
+// O(shards touched), not O(bitmap size). A frozen bitmap may be read
+// concurrently with mutations of its Freeze partner: shared word slices
+// and the shared start-value array are never written in place — writers
+// copy first — and each side's scalar bookkeeping lives in its own
+// struct.
+//
+// Sharded is not safe for concurrent mutation; see Concurrent for a
+// wrapper with per-shard locking (Section 5.4).
 type Sharded struct {
-	words      []uint64
-	starts     []uint64 // starts[s]: logical index of first live bit of shard s
-	shardBits  uint64   // bits per shard, power of two, multiple of 64
-	logShard   uint     // log2(shardBits)
-	shardWords uint64   // shardBits / 64
-	n          uint64   // live logical bits
-	lost       uint64   // dead slots accumulated by deletes
+	shards     [][]uint64 // shards[s]: shard s's words, shardWords long
+	shared     []bool     // shared[s]: shards[s] is shared with a Freeze partner
+	starts     []uint64   // starts[s]: logical index of first live bit of shard s
+	startsMut  bool       // starts is NOT shared and may be written in place
+	shardBits  uint64     // bits per shard, power of two, multiple of 64
+	logShard   uint       // log2(shardBits)
+	shardWords uint64     // shardBits / 64
+	n          uint64     // live logical bits
+	lost       uint64     // dead slots accumulated by deletes
 
 	// vectorized selects the unrolled 256-bit cross-element shift kernel
 	// (the Go analogue of the paper's AVX2 Listing 1). When false the
@@ -58,8 +69,10 @@ func NewSharded(n uint64, shardBits uint64) *Sharded {
 		numShards = 1
 	}
 	s := &Sharded{
-		words:      make([]uint64, numShards*shardBits/wordBits),
+		shards:     make([][]uint64, numShards),
+		shared:     make([]bool, numShards),
 		starts:     make([]uint64, numShards),
+		startsMut:  true,
 		shardBits:  shardBits,
 		logShard:   uint(bits.TrailingZeros64(shardBits)),
 		shardWords: shardBits / wordBits,
@@ -67,6 +80,7 @@ func NewSharded(n uint64, shardBits uint64) *Sharded {
 		vectorized: true,
 	}
 	for i := range s.starts {
+		s.shards[i] = make([]uint64, s.shardWords)
 		s.starts[i] = uint64(i) * shardBits
 	}
 	return s
@@ -86,10 +100,11 @@ func (s *Sharded) ShardBits() uint64 { return s.shardBits }
 func (s *Sharded) NumShards() int { return len(s.starts) }
 
 // locate returns the shard holding logical position i and the physical
-// bit index of i within words. The initial guess i/shardBits can only
-// undershoot (start values only decrease), so we probe forward over the
-// start values of upcoming shards, as in the paper (Section 4.2.1).
-func (s *Sharded) locate(i uint64) (shard, phys uint64) {
+// bit offset of i within that shard's words. The initial guess
+// i/shardBits can only undershoot (start values only decrease), so we
+// probe forward over the start values of upcoming shards, as in the
+// paper (Section 4.2.1).
+func (s *Sharded) locate(i uint64) (shard, off uint64) {
 	if i >= s.n {
 		panic(fmt.Sprintf("bitmap: position %d out of range [0,%d)", i, s.n))
 	}
@@ -97,8 +112,7 @@ func (s *Sharded) locate(i uint64) (shard, phys uint64) {
 	for int(shard)+1 < len(s.starts) && s.starts[shard+1] <= i {
 		shard++
 	}
-	phys = shard*s.shardBits + (i - s.starts[shard])
-	return shard, phys
+	return shard, i - s.starts[shard]
 }
 
 // liveBits returns the number of live bits in shard sh.
@@ -109,39 +123,83 @@ func (s *Sharded) liveBits(sh uint64) uint64 {
 	return s.n - s.starts[sh]
 }
 
+// mutableShard returns shard sh's words for writing, copying them first
+// when a Freeze partner still references the current generation. This is
+// the shard-granularity copy-on-write step: the cost of updating under a
+// live snapshot is one shardWords copy per touched shard.
+func (s *Sharded) mutableShard(sh uint64) []uint64 {
+	if s.shared[sh] {
+		cp := make([]uint64, s.shardWords)
+		copy(cp, s.shards[sh])
+		s.shards[sh] = cp
+		s.shared[sh] = false
+	}
+	return s.shards[sh]
+}
+
+// mutableStarts returns the start-value array for writing, copying it
+// first when shared with a Freeze partner. The array is 64/shardBits of
+// the bitmap size (0.39 % at the default shard size), so copying it does
+// not disturb the shards-touched COW bound.
+func (s *Sharded) mutableStarts() []uint64 {
+	if !s.startsMut {
+		s.starts = append([]uint64(nil), s.starts...)
+		s.startsMut = true
+	}
+	return s.starts
+}
+
+// Freeze returns an immutable-by-convention copy sharing all shard words
+// and start values copy-on-write with s. Freezing costs O(#shards)
+// bookkeeping and copies no bit data. After the call either side may be
+// mutated (each under its own external synchronization): the first write
+// to a shared shard copies that shard only, leaving the partner's view
+// untouched. Reads of one side are safe concurrently with mutations of
+// the other.
+func (s *Sharded) Freeze() *Sharded {
+	for i := range s.shared {
+		s.shared[i] = true
+	}
+	s.startsMut = false
+	c := *s
+	c.shards = append([][]uint64(nil), s.shards...)
+	c.shared = append([]bool(nil), s.shared...)
+	return &c
+}
+
 // Set sets the bit at logical position i.
 func (s *Sharded) Set(i uint64) {
-	_, phys := s.locate(i)
-	s.words[phys>>logWord] |= 1 << (phys & wordMask)
+	sh, off := s.locate(i)
+	s.mutableShard(sh)[off>>logWord] |= 1 << (off & wordMask)
 }
 
 // Unset clears the bit at logical position i.
 func (s *Sharded) Unset(i uint64) {
-	_, phys := s.locate(i)
-	s.words[phys>>logWord] &^= 1 << (phys & wordMask)
+	sh, off := s.locate(i)
+	s.mutableShard(sh)[off>>logWord] &^= 1 << (off & wordMask)
 }
 
 // Get reports whether the bit at logical position i is set.
 func (s *Sharded) Get(i uint64) bool {
-	_, phys := s.locate(i)
-	return s.words[phys>>logWord]&(1<<(phys&wordMask)) != 0
+	sh, off := s.locate(i)
+	return s.shards[sh][off>>logWord]&(1<<(off&wordMask)) != 0
 }
 
 // Delete removes the bit at logical position i: subsequent bits within
 // the shard shift one position towards i, and the start values of all
 // subsequent shards are decremented (Section 4.2.2).
 func (s *Sharded) Delete(i uint64) {
-	sh, phys := s.locate(i)
+	sh, off := s.locate(i)
 	live := s.liveBits(sh)
-	shardStart := sh * s.shardBits
-	liveEnd := shardStart + live
+	words := s.mutableShard(sh)
 	if s.vectorized {
-		shiftTailLeftOneVec(s.words, phys, liveEnd)
+		shiftTailLeftOneVec(words, off, live)
 	} else {
-		shiftTailLeftOne(s.words, phys, liveEnd)
+		shiftTailLeftOne(words, off, live)
 	}
-	for t := int(sh) + 1; t < len(s.starts); t++ {
-		s.starts[t]--
+	starts := s.mutableStarts()
+	for t := int(sh) + 1; t < len(starts); t++ {
+		starts[t]--
 	}
 	s.n--
 	s.lost++
@@ -151,15 +209,14 @@ func (s *Sharded) Delete(i uint64) {
 func (s *Sharded) Count() uint64 {
 	var c uint64
 	for sh := range s.starts {
-		start := uint64(sh) * s.shardBits
+		words := s.shards[sh]
 		live := s.liveBits(uint64(sh))
 		full := live >> logWord
-		base := start >> logWord
 		for w := uint64(0); w < full; w++ {
-			c += uint64(bits.OnesCount64(s.words[base+w]))
+			c += uint64(bits.OnesCount64(words[w]))
 		}
 		if rem := live & wordMask; rem != 0 {
-			c += uint64(bits.OnesCount64(s.words[base+full] & (1<<rem - 1)))
+			c += uint64(bits.OnesCount64(words[full] & (1<<rem - 1)))
 		}
 	}
 	return c
@@ -171,10 +228,10 @@ func (s *Sharded) ForEachSet(fn func(pos uint64) bool) {
 	for sh := range s.starts {
 		logical := s.starts[sh]
 		live := s.liveBits(uint64(sh))
-		base := uint64(sh) * s.shardWords
+		words := s.shards[sh]
 		nw := (live + wordMask) >> logWord
 		for w := uint64(0); w < nw; w++ {
-			word := s.words[base+w]
+			word := words[w]
 			if w == nw-1 {
 				if rem := live & wordMask; rem != 0 {
 					word &= 1<<rem - 1
@@ -205,7 +262,8 @@ func (s *Sharded) AppendSel(lo, hi uint64, invert bool, sel []int32) []int32 {
 	}
 	p := lo
 	for p < hi {
-		sh, phys := s.locate(p)
+		sh, off := s.locate(p)
+		words := s.shards[sh]
 		chunkEnd := s.starts[sh] + s.liveBits(sh)
 		if chunkEnd > hi {
 			chunkEnd = hi
@@ -215,7 +273,7 @@ func (s *Sharded) AppendSel(lo, hi uint64, invert bool, sel []int32) []int32 {
 			if count > wordBits {
 				count = wordBits
 			}
-			w := readBits(s.words, phys, count)
+			w := readBits(words, off, count)
 			if invert {
 				w = ^w
 				if count < wordBits {
@@ -229,7 +287,7 @@ func (s *Sharded) AppendSel(lo, hi uint64, invert bool, sel []int32) []int32 {
 				w &= w - 1
 			}
 			p += count
-			phys += count
+			off += count
 		}
 	}
 	return sel
@@ -248,14 +306,16 @@ func (s *Sharded) SetBits() []uint64 {
 // Grow appends extra unset bits at the logical end of the bitmap. Dead
 // slots at the end of the last shard are reused first; further capacity
 // is added as fresh shards (the "reallocate/resize" insert path of
-// Section 4).
+// Section 4). Reusing dead slots writes no words — deletes keep them
+// zeroed — so growing never copies a shared shard.
 func (s *Sharded) Grow(extra uint64) {
 	for extra > 0 {
 		last := uint64(len(s.starts) - 1)
 		free := s.shardBits - s.liveBits(last)
 		if free == 0 {
-			s.starts = append(s.starts, s.n)
-			s.words = append(s.words, make([]uint64, s.shardWords)...)
+			s.starts = append(s.mutableStarts(), s.n)
+			s.shards = append(s.shards, make([]uint64, s.shardWords))
+			s.shared = append(s.shared, false)
 			continue
 		}
 		take := free
@@ -282,7 +342,7 @@ func (s *Sharded) Utilization() float64 {
 
 // SizeBytes returns the memory consumed by bit storage plus start values.
 func (s *Sharded) SizeBytes() uint64 {
-	return uint64(len(s.words))*8 + uint64(len(s.starts))*8
+	return uint64(len(s.starts))*s.shardWords*8 + uint64(len(s.starts))*8
 }
 
 // OverheadPercent returns the sharding memory overhead relative to an
@@ -291,13 +351,18 @@ func (s *Sharded) OverheadPercent() float64 {
 	return float64(wordBits) / float64(s.shardBits) * 100
 }
 
-// Clone returns a deep copy of the sharded bitmap.
+// Clone returns a deep copy of the sharded bitmap, sharing nothing with
+// the receiver. Prefer Freeze for snapshotting: it defers the copying to
+// the shards that actually change.
 func (s *Sharded) Clone() *Sharded {
 	c := *s
-	c.words = make([]uint64, len(s.words))
-	copy(c.words, s.words)
-	c.starts = make([]uint64, len(s.starts))
-	copy(c.starts, s.starts)
+	c.shards = make([][]uint64, len(s.shards))
+	for i, w := range s.shards {
+		c.shards[i] = append([]uint64(nil), w...)
+	}
+	c.shared = make([]bool, len(s.shared))
+	c.starts = append([]uint64(nil), s.starts...)
+	c.startsMut = true
 	return &c
 }
 

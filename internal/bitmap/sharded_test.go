@@ -425,3 +425,102 @@ func samplePositions(rng *rand.Rand, n, k int) []uint64 {
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
+
+// --- shard-granularity copy-on-write (Freeze) ---
+
+func TestFreezeIsolatesMutations(t *testing.T) {
+	s := NewSharded(256, 64) // 4 shards
+	for _, p := range []uint64{0, 63, 64, 130, 255} {
+		s.Set(p)
+	}
+	f := s.Freeze()
+
+	// Mutate every shard of the live bitmap.
+	s.Set(1)
+	s.Unset(63)
+	s.Set(65)
+	s.Delete(130) // also shifts starts of shards 3,4
+	s.Unset(254)
+
+	// Frozen copy still answers from the capture instant.
+	for _, p := range []uint64{0, 63, 64, 130, 255} {
+		if !f.Get(p) {
+			t.Fatalf("frozen lost bit %d", p)
+		}
+	}
+	if f.Get(1) || f.Get(65) {
+		t.Fatal("frozen sees post-freeze mutation")
+	}
+	if f.Len() != 256 || s.Len() != 255 {
+		t.Fatalf("lengths: frozen %d live %d", f.Len(), s.Len())
+	}
+	if f.Count() != 5 {
+		t.Fatalf("frozen Count = %d, want 5", f.Count())
+	}
+}
+
+func TestFreezeCopiesOnlyTouchedShards(t *testing.T) {
+	s := NewSharded(64*64, 64) // 64 shards
+	f := s.Freeze()
+	s.Set(0) // touches shard 0 only
+	var copied int
+	for i := range s.shards {
+		if &s.shards[i][0] != &f.shards[i][0] {
+			copied++
+		}
+	}
+	if copied != 1 {
+		t.Fatalf("Set copied %d shards, want 1", copied)
+	}
+	if f.Get(0) {
+		t.Fatal("frozen observed live Set")
+	}
+}
+
+func TestFreezeSurvivesBulkDeleteAndCondense(t *testing.T) {
+	s := NewSharded(512, 64)
+	for p := uint64(0); p < 512; p += 3 {
+		s.Set(p)
+	}
+	f := s.Freeze()
+	want := f.SetBits()
+
+	var del []uint64
+	for p := uint64(10); p < 500; p += 7 {
+		del = append(del, p)
+	}
+	s.BulkDelete(del)
+	s.Condense()
+	s.Grow(100)
+
+	got := f.SetBits()
+	if len(got) != len(want) {
+		t.Fatalf("frozen SetBits changed: %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("frozen bit %d moved", want[i])
+		}
+	}
+	if f.Len() != 512 {
+		t.Fatalf("frozen Len = %d", f.Len())
+	}
+}
+
+func TestFreezeChainRepeated(t *testing.T) {
+	s := NewSharded(128, 64)
+	var frozens []*Sharded
+	var wants []uint64
+	for r := uint64(0); r < 5; r++ {
+		s.Set(r * 20)
+		frozens = append(frozens, s.Freeze())
+		wants = append(wants, s.Count())
+	}
+	s.Delete(5)
+	s.Set(1)
+	for i, f := range frozens {
+		if f.Count() != wants[i] {
+			t.Fatalf("freeze %d: Count = %d, want %d", i, f.Count(), wants[i])
+		}
+	}
+}

@@ -126,33 +126,6 @@ func shiftTailLeftOneScalar(words []uint64, from, to uint64) {
 	}
 }
 
-// copyBitsDown copies count bits from logical position src to logical
-// position dst within words, where dst <= src. The copy proceeds from low
-// to high positions, which is safe for overlapping ranges when moving
-// bits towards lower positions (the direction condense needs).
-func copyBitsDown(words []uint64, dst, src, count uint64) {
-	if dst == src || count == 0 {
-		return
-	}
-	// Word-at-a-time: assemble each destination word from one or two
-	// source words.
-	for count > 0 {
-		dw := dst >> logWord
-		dOff := dst & wordMask
-		// Bits we can write into the current destination word.
-		chunk := wordBits - dOff
-		if chunk > count {
-			chunk = count
-		}
-		v := readBits(words, src, chunk)
-		mask := maskRange(dOff, chunk)
-		words[dw] = words[dw]&^mask | v<<dOff&mask
-		dst += chunk
-		src += chunk
-		count -= chunk
-	}
-}
-
 // readBits reads count (1..64) bits starting at logical position pos and
 // returns them in the low bits of the result.
 func readBits(words []uint64, pos, count uint64) uint64 {

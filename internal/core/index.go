@@ -88,9 +88,10 @@ type Index struct {
 
 	rows uint64 // number of tuples covered
 
-	bm  *bitmap.Sharded // DesignBitmap
-	ids []uint64        // DesignIdentifier, sorted ascending
-	np  uint64          // number of patches
+	bm        *bitmap.Sharded // DesignBitmap
+	ids       []uint64        // DesignIdentifier, sorted ascending
+	idsShared bool            // ids is shared with a Freeze partner
+	np        uint64          // number of patches
 
 	// NSC bookkeeping: the last value of the materialized sorted
 	// subsequence (largest for ascending order), used by insert handling
@@ -253,6 +254,7 @@ func (x *Index) AddPatches(rowIDs []uint64) {
 		}
 	}
 	x.ids = merged
+	x.idsShared = false
 	x.np = uint64(len(merged))
 }
 
@@ -288,10 +290,12 @@ func (x *Index) HandleDelete(rowIDs []uint64) {
 		}
 	} else {
 		// Walk the identifier list once: drop deleted ids, decrement
-		// survivors by the number of deleted tuples below them.
-		out := x.ids[:0]
+		// survivors by the number of deleted tuples below them. The
+		// compaction reuses the backing array, so un-share it first.
+		ids := x.mutableIDs()
+		out := ids[:0]
 		di := 0
-		for _, id := range x.ids {
+		for _, id := range ids {
 			for di < len(rowIDs) && rowIDs[di] < id {
 				di++
 			}
@@ -333,18 +337,51 @@ func (x *Index) Condense() {
 	}
 }
 
-// Clone returns a deep copy of the index, including the patch bitmap or
-// identifier list. The engine's snapshot layer clones an index before
-// mutating it when the current generation is referenced by a live
-// snapshot, so snapshot queries keep reading a frozen patch view while
-// update handling proceeds on the new generation (the MVCC-lite analogue
-// of the host system's snapshot isolation, Section 5.4).
+// Freeze returns an immutable-by-convention copy of the index whose
+// patch storage is shared copy-on-write with the receiver. For the
+// bitmap design the sharing is shard-granular (bitmap.Sharded.Freeze):
+// capturing the snapshot copies no bit data, and a subsequent update
+// copies only the shards it touches instead of the whole bitmap. For the
+// identifier design the sorted rowID list is shared until the next
+// in-place mutation copies it.
+//
+// The engine's snapshot layer hands Freeze copies to queries, so a
+// snapshot keeps reading a frozen patch view while update handling
+// proceeds on the live index (the MVCC-lite analogue of the host
+// system's snapshot isolation, Section 5.4). Reading the frozen copy is
+// safe concurrently with mutations of the live one.
+func (x *Index) Freeze() *Index {
+	n := *x
+	if x.bm != nil {
+		n.bm = x.bm.Freeze()
+	}
+	if x.opts.Design == DesignIdentifier {
+		x.idsShared = true
+		n.idsShared = true
+	}
+	return &n
+}
+
+// mutableIDs returns the identifier list for in-place mutation, copying
+// it first when a Freeze partner still references it.
+func (x *Index) mutableIDs() []uint64 {
+	if x.idsShared {
+		x.ids = append([]uint64(nil), x.ids...)
+		x.idsShared = false
+	}
+	return x.ids
+}
+
+// Clone returns a fully independent deep copy of the index, including
+// the patch bitmap or identifier list. Prefer Freeze for snapshotting;
+// Clone remains for callers that need a mutable copy immediately.
 func (x *Index) Clone() *Index {
 	n := *x
 	if x.bm != nil {
 		n.bm = x.bm.Clone()
 	}
 	n.ids = append([]uint64(nil), x.ids...)
+	n.idsShared = false
 	return &n
 }
 

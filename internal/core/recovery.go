@@ -79,6 +79,7 @@ func (x *Index) ReadFrom(r io.Reader) (int64, error) {
 		return read + n, err
 	}
 	x.ids = make([]uint64, nIDs)
+	x.idsShared = false
 	buf := make([]byte, 8)
 	for i := range x.ids {
 		n, err := io.ReadFull(r, buf)

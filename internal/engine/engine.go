@@ -3,6 +3,28 @@
 // PatchIndex DDL, update queries that drive the index maintenance of
 // Section 5, and query entry points that apply the planner's PatchIndex
 // rewrites under the cost model.
+//
+// # Snapshots
+//
+// Reads are isolated from updates by immutable snapshots. A
+// TableSnapshot captures one table's state under the table lock; a
+// DatabaseSnapshot (Database.Snapshot) captures several tables in one
+// atomic multi-table capture by acquiring the per-table locks in
+// deterministic name order, so a join never observes table A before an
+// update query and table B after it. Capturing copies no data:
+// partition views are frozen (storage.Partition.Freeze), positional
+// deltas are sealed, and every PatchIndex is frozen via core.Index.Freeze.
+//
+// # Shard-granularity copy-on-write
+//
+// A frozen PatchIndex shares its patch bitmap with the live index at
+// shard granularity (bitmap.Sharded.Freeze): each shard carries a shared
+// flag, and the first update that writes a shared shard copies just that
+// shard. Holding a snapshot therefore costs an update stream O(shards
+// touched), not O(bitmap size) — the invariant BenchmarkUpdateUnderSnapshot
+// locks down. The sharing is safe without further locking because shared
+// shard words and start values are never written in place (writers copy
+// first), and all live-side bookkeeping happens under the table lock.
 package engine
 
 import (
@@ -58,12 +80,16 @@ func NewDatabase() *Database {
 //
 // Snapshot generation tracking: handing out a view (Snapshot, View,
 // Views, Inputs, ScanAll, or a query entry point) marks the current
-// base/delta/index generations as shared. The first subsequent mutation
-// of a shared generation clones it and installs the clone as the new
-// current generation — the old objects stay frozen for the snapshot.
-// Appends are exempt: frozen partition views carry their own length-
-// capped column headers, so an insert-only checkpoint may append to the
-// live arrays in place without disturbing any snapshot.
+// base/delta generations as shared and hands out Freeze copies of the
+// PatchIndexes. The first subsequent mutation of a shared base/delta
+// generation clones it and installs the clone as the new current
+// generation — the old objects stay frozen for the snapshot. Frozen
+// PatchIndexes need no generation swap at all: their shard-granular
+// copy-on-write lets update handling mutate the live index directly,
+// copying only the shards it touches. Appends are exempt everywhere:
+// frozen partition views carry their own length-capped column headers,
+// so an insert-only checkpoint may append to the live arrays in place
+// without disturbing any snapshot.
 type Table struct {
 	mu    sync.Mutex
 	name  string
@@ -76,9 +102,12 @@ type Table struct {
 	// deltaShared[p]: delta[p] is sealed into a live snapshot; the next
 	// mutation copies it first.
 	deltaShared []bool
-	// idxShared[column]: the index generation on column is referenced by
-	// a live snapshot; update handling clones before mutating.
-	idxShared map[string]bool
+	// openSnaps counts explicitly captured, not-yet-closed TableSnapshots
+	// (Table.Snapshot and Database.Snapshot). Physical storage
+	// reorganization (ExclusiveStorage, used by the SortKey comparator)
+	// refuses while any are open, because it rewrites the shared column
+	// arrays in place.
+	openSnaps int
 
 	// indexes[column] holds one PatchIndex per partition.
 	indexes map[string][]*core.Index
@@ -105,7 +134,6 @@ func (db *Database) CreateTable(name string, schema storage.Schema, partitions i
 		indexes:     make(map[string][]*core.Index),
 		baseShared:  make([]bool, partitions),
 		deltaShared: make([]bool, partitions),
-		idxShared:   make(map[string]bool),
 	}
 	t.delta = make([]*pdt.Delta, partitions)
 	for p := range t.delta {
@@ -180,6 +208,21 @@ func (t *Table) snapshotViewLocked(p int) *pdt.View {
 	return pdt.NewView(t.store.Partition(p).Freeze(), t.delta[p])
 }
 
+// ReadInt64Column returns a copy of one partition's int64 column
+// (including pending deltas) without marking any generation shared.
+// Read-modify-write drivers (like the TPC-H refresh stream) use it to
+// pick rows they are about to update: going through View would mark the
+// base generation shared and force the subsequent delete checkpoint to
+// clone the whole partition for a snapshot nobody keeps.
+func (t *Table) ReadInt64Column(partition int, column string) []int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	col := t.store.Schema().MustColumnIndex(column)
+	// MaterializeInt64 may alias live base storage when the delta is
+	// empty; copy so the result stays valid outside the lock.
+	return append([]int64(nil), t.viewLocked(partition).MaterializeInt64(col)...)
+}
+
 // Views returns snapshot read views of all partitions, capturing one
 // consistent table state.
 func (t *Table) Views() []*pdt.View {
@@ -203,20 +246,29 @@ func (t *Table) mutableDeltaLocked(p int) *pdt.Delta {
 }
 
 // mutableIndexesLocked returns the per-partition indexes on column for
-// mutation, cloning the whole generation first when a live snapshot
-// references it. Returns nil when no index exists.
+// mutation. Returns nil when no index exists. No generation swap is
+// needed: snapshots hold Freeze copies whose patch storage is shared
+// copy-on-write at shard granularity, so update handling mutates the
+// live indexes directly and pays only for the shards it touches.
 func (t *Table) mutableIndexesLocked(column string) []*core.Index {
-	idx := t.indexes[column]
-	if idx != nil && t.idxShared[column] {
-		cp := make([]*core.Index, len(idx))
-		for i, x := range idx {
-			cp[i] = x.Clone()
-		}
-		t.indexes[column] = cp
-		delete(t.idxShared, column)
-		idx = cp
+	return t.indexes[column]
+}
+
+// ExclusiveStorage runs fn with exclusive access to the table's
+// underlying storage, for physical reorganizations (the SortKey
+// evaluation comparator) that rewrite the shared column arrays in place
+// and therefore cannot coexist with snapshot readers. It refuses while
+// explicitly captured snapshots (Table.Snapshot, Database.Snapshot) are
+// open; close them first. Query operators still draining an internal
+// per-query snapshot are not tracked and must be exhausted before
+// reorganizing, as before.
+func (t *Table) ExclusiveStorage(fn func(*storage.Table) error) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.openSnaps > 0 {
+		return fmt.Errorf("engine: table %q has %d open snapshot(s); close them before physically reordering storage", t.name, t.openSnaps)
 	}
-	return idx
+	return fn(t.store)
 }
 
 // Load bulk-loads rows into base storage in contiguous partition chunks
@@ -286,7 +338,6 @@ func (t *Table) CreatePatchIndex(column string, constraint core.Constraint, opts
 			}
 		}
 		t.indexes[column] = indexes
-		delete(t.idxShared, column)
 		return nil
 	}
 	// NSC discovery is partition-local and parallel (Section 3.2): the
@@ -302,7 +353,6 @@ func (t *Table) CreatePatchIndex(column string, constraint core.Constraint, opts
 	}
 	wg.Wait()
 	t.indexes[column] = indexes
-	delete(t.idxShared, column)
 	return nil
 }
 
@@ -318,7 +368,6 @@ func (t *Table) RestorePatchIndexes(column string, indexes []*core.Index) {
 			len(indexes), t.store.NumPartitions()))
 	}
 	t.indexes[column] = indexes
-	delete(t.idxShared, column)
 }
 
 // DropPatchIndex removes the PatchIndex on the named column.
@@ -326,30 +375,27 @@ func (t *Table) DropPatchIndex(column string) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	delete(t.indexes, column)
-	delete(t.idxShared, column)
 }
 
-// PatchIndexes returns the per-partition indexes on column, or nil. The
-// returned generation is marked shared: like every other read surface,
-// the caller may keep reading it while updates proceed on fresh
-// copy-on-write generations.
+// PatchIndexes returns frozen copies of the per-partition indexes on
+// column, or nil. Like every other read surface, the caller may keep
+// reading them while updates proceed on the live indexes: the frozen
+// copies share patch storage copy-on-write at shard granularity.
 func (t *Table) PatchIndexes(column string) []*core.Index {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	idx := t.indexes[column]
-	if idx != nil {
-		t.idxShared[column] = true
-	}
-	return idx
+	return freezeIndexes(t.indexes[column])
 }
 
 // Inputs pairs each partition's snapshot view with its PatchIndex on
 // column for the planner. The returned inputs are one consistent
-// snapshot and stay valid while updates proceed on the table.
+// snapshot — the same capture the query entry points use — and stay
+// valid while updates proceed on the table.
 func (t *Table) Inputs(column string) []plan.PartitionInput {
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.inputsLocked(column)
+	s := t.snapshotColumnLocked(column)
+	t.mu.Unlock()
+	return s.Inputs(column)
 }
 
 // ExceptionRate returns the aggregate exception rate of the PatchIndexes

@@ -54,6 +54,18 @@ func decodeRef(enc int64) (part int, rid uint64) {
 	return int(enc >> ridBits), uint64(enc & (1<<ridBits - 1))
 }
 
+// hasNUCIndex reports whether any column carries a NearlyUnique index —
+// the only consumers of the packed join payload. Callers hold the table
+// lock.
+func (t *Table) hasNUCIndex() bool {
+	for _, idx := range t.indexes {
+		if len(idx) > 0 && idx[0].ConstraintKind() == core.NearlyUnique {
+			return true
+		}
+	}
+	return false
+}
+
 // Insert appends rows, distributing them over partitions round-robin,
 // and maintains all PatchIndexes:
 //
@@ -77,8 +89,23 @@ func (db *Database) Insert(table string, rows []storage.Row) error {
 		perPart[p] = append(perPart[p], r)
 	}
 	baseRows := make([]int, nparts)
-	for p, prows := range perPart {
+	for p := range perPart {
 		baseRows[p] = t.viewLocked(p).NumRows()
+	}
+	// Validate the NUC join payload packing BEFORE mutating anything:
+	// failing after the deltas (and other columns' indexes) were updated
+	// would leave the table and the failing index permanently divergent.
+	if t.hasNUCIndex() {
+		for p, prows := range perPart {
+			if len(prows) == 0 {
+				continue
+			}
+			if _, err := encodeRef(p, uint64(baseRows[p]+len(prows)-1)); err != nil {
+				return fmt.Errorf("engine: insert into %s: %w", table, err)
+			}
+		}
+	}
+	for p, prows := range perPart {
 		if len(prows) == 0 {
 			continue
 		}
@@ -346,6 +373,16 @@ func (db *Database) Modify(table string, partition int, rowIDs []uint64, column 
 		return fmt.Errorf("engine: Modify rowIDs/values length mismatch")
 	}
 	col := t.store.Schema().MustColumnIndex(column)
+	// As in Insert: reject payload overflow before mutating the delta,
+	// so the error path leaves table and indexes consistent. Only the
+	// modified column's own NUC index consumes the packed payload.
+	if idx := t.indexes[column]; len(idx) > 0 && idx[0].ConstraintKind() == core.NearlyUnique {
+		for _, r := range rowIDs {
+			if _, err := encodeRef(partition, r); err != nil {
+				return fmt.Errorf("engine: modify on %s.%s: %w", table, column, err)
+			}
+		}
+	}
 	d := t.mutableDeltaLocked(partition)
 	for i, r := range rowIDs {
 		d.Modify(int(r), col, values[i])

@@ -35,7 +35,14 @@ type QueryOptions struct {
 // before the call returns, and concurrent updates do not affect the
 // result.
 func (db *Database) Distinct(table, column string, opts QueryOptions) (exec.Operator, error) {
-	return db.MustTable(table).snapshotColumn(column).Distinct(column, opts)
+	t := db.MustTable(table)
+	// Validate before capturing: a rejected query must not mark
+	// generations shared (sticky baseShared would force needless
+	// partition clones at the next checkpoint).
+	if t.Schema().ColumnIndex(column) < 0 {
+		return nil, fmt.Errorf("engine: unknown column %q", column)
+	}
+	return t.snapshotColumn(column).Distinct(column, opts)
 }
 
 // snapshotColumn captures a snapshot carrying only column's PatchIndex.
@@ -73,9 +80,14 @@ func (s *TableSnapshot) Distinct(column string, opts QueryOptions) (exec.Operato
 }
 
 // SortQuery returns an operator producing column fully sorted. Like
-// Distinct, it executes against a snapshot captured at call time.
+// Distinct, it executes against a snapshot captured at call time (and
+// validates the column before capturing, for the same reason).
 func (db *Database) SortQuery(table, column string, desc bool, opts QueryOptions) (exec.Operator, error) {
-	return db.MustTable(table).snapshotColumn(column).SortQuery(column, desc, opts)
+	t := db.MustTable(table)
+	if t.Schema().ColumnIndex(column) < 0 {
+		return nil, fmt.Errorf("engine: unknown column %q", column)
+	}
+	return t.snapshotColumn(column).SortQuery(column, desc, opts)
 }
 
 // SortQuery returns an operator producing column fully sorted over the
@@ -103,23 +115,6 @@ func (s *TableSnapshot) SortQuery(column string, desc bool, opts QueryOptions) (
 		return plan.Sort(inputs, col, desc, popts), nil
 	}
 	return plan.SortReference(inputs, col, desc, popts), nil
-}
-
-// inputsLocked builds snapshot planner inputs for column, marking the
-// captured generations shared.
-func (t *Table) inputsLocked(column string) []plan.PartitionInput {
-	idx := t.indexes[column]
-	if idx != nil {
-		t.idxShared[column] = true
-	}
-	out := make([]plan.PartitionInput, t.store.NumPartitions())
-	for p := range out {
-		out[p].View = t.snapshotViewLocked(p)
-		if idx != nil {
-			out[p].Index = idx[p]
-		}
-	}
-	return out
 }
 
 // ScanAll returns an operator scanning the given columns of every

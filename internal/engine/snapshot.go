@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sort"
 
 	"patchindex/internal/core"
 	"patchindex/internal/exec"
@@ -12,25 +13,34 @@ import (
 
 // TableSnapshot is an immutable, point-in-time view of one table: frozen
 // per-partition storage views (base columns capped at the captured row
-// count, merged with the sealed positional delta) plus the per-partition
-// PatchIndexes with their patch bitmaps frozen at capture time.
+// count, merged with the sealed positional delta) plus Freeze copies of
+// the per-partition PatchIndexes, whose patch bitmaps are shared with
+// the live indexes copy-on-write at shard granularity.
 //
 // This is the MVCC-lite layer standing in for the snapshot isolation the
 // paper's host system provides (Section 5.4): a query plans and executes
 // entirely against the snapshot, without holding the table lock, while
-// update queries proceed on fresh copy-on-write generations. A snapshot
-// stays valid indefinitely; holding one only costs the update path at
-// most one clone of each structure the snapshot references.
+// update queries proceed on copy-on-write structures. A snapshot stays
+// valid indefinitely; holding one only costs the update path a copy of
+// each bitmap shard (and each delta/partition generation) it actually
+// touches.
 type TableSnapshot struct {
 	name    string
 	schema  storage.Schema
 	views   []*pdt.View
 	indexes map[string][]*core.Index
+
+	// owner/closed track explicitly captured snapshots for the physical
+	// reorganization guard (Table.ExclusiveStorage); both are guarded by
+	// owner.mu. Query-internal snapshots leave owner nil.
+	owner  *Table
+	closed bool
 }
 
 // Snapshot captures an immutable view of the table's current state. The
-// table lock is held only for the capture itself — O(partitions +
-// indexes), no data copying.
+// table lock is held only for the capture itself — O(partitions + index
+// shards) bookkeeping, no data copying. Close the snapshot when done if
+// the table may later be physically reorganized (SortKey).
 func (t *Table) Snapshot() *TableSnapshot {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -43,26 +53,158 @@ func (db *Database) SnapshotTable(name string) *TableSnapshot {
 	return db.MustTable(name).Snapshot()
 }
 
+// freezeIndexes returns Freeze copies of one index generation, or nil.
+func freezeIndexes(idx []*core.Index) []*core.Index {
+	if idx == nil {
+		return nil
+	}
+	out := make([]*core.Index, len(idx))
+	for i, x := range idx {
+		out[i] = x.Freeze()
+	}
+	return out
+}
+
 func (t *Table) snapshotLocked() *TableSnapshot {
 	s := t.snapshotViewsLocked()
 	for column, idx := range t.indexes {
-		t.idxShared[column] = true
-		s.indexes[column] = idx
+		s.indexes[column] = freezeIndexes(idx)
 	}
+	s.owner = t
+	t.openSnaps++
 	return s
+}
+
+// Close marks an explicitly captured snapshot as no longer live,
+// re-enabling physical storage reorganization (ExclusiveStorage) once
+// every open snapshot of the table is closed. Closing is optional
+// otherwise — a snapshot's data stays valid forever — and idempotent.
+func (s *TableSnapshot) Close() {
+	if s.owner == nil {
+		return
+	}
+	s.owner.mu.Lock()
+	defer s.owner.mu.Unlock()
+	if !s.closed {
+		s.closed = true
+		s.owner.openSnaps--
+	}
 }
 
 // snapshotColumnLocked captures a snapshot carrying only the PatchIndex
 // generation of the named column. Single-column query entry points use
-// it so an update racing a Distinct("a") does not have to clone the
-// index generations of unrelated columns.
+// it so an update racing a Distinct("a") does not pay the freeze
+// bookkeeping of unrelated columns' indexes.
 func (t *Table) snapshotColumnLocked(column string) *TableSnapshot {
 	s := t.snapshotViewsLocked()
 	if idx := t.indexes[column]; idx != nil {
-		t.idxShared[column] = true
-		s.indexes[column] = idx
+		s.indexes[column] = freezeIndexes(idx)
 	}
 	return s
+}
+
+// DatabaseSnapshot is an immutable view of several tables captured at
+// one instant: the per-table locks are acquired together (in
+// deterministic name order, so concurrent captures cannot deadlock),
+// every TableSnapshot is built while all locks are held, and only then
+// are the locks released. A multi-table query planned against a
+// DatabaseSnapshot therefore observes a state that lies exactly between
+// two update queries of every captured table — a join can never see
+// table A before an update and table B after it, which per-table
+// snapshots captured at their own instants cannot guarantee.
+type DatabaseSnapshot struct {
+	tables map[string]*TableSnapshot
+}
+
+// Snapshot atomically captures the named tables (each name once; order
+// irrelevant). It returns an error when a name is unknown.
+func (db *Database) Snapshot(names ...string) (*DatabaseSnapshot, error) {
+	uniq := append([]string(nil), names...)
+	sort.Strings(uniq)
+	tabs := make([]*Table, 0, len(uniq))
+	db.mu.RLock()
+	for i, name := range uniq {
+		if i > 0 && uniq[i-1] == name {
+			continue
+		}
+		t := db.tables[name]
+		if t == nil {
+			db.mu.RUnlock()
+			return nil, fmt.Errorf("engine: unknown table %q in database snapshot", name)
+		}
+		tabs = append(tabs, t)
+	}
+	db.mu.RUnlock()
+	return snapshotTables(tabs), nil
+}
+
+// MustSnapshot is Snapshot, panicking on unknown table names.
+func (db *Database) MustSnapshot(names ...string) *DatabaseSnapshot {
+	s, err := db.Snapshot(names...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// SnapshotAll atomically captures every table of the database.
+func (db *Database) SnapshotAll() *DatabaseSnapshot {
+	db.mu.RLock()
+	tabs := make([]*Table, 0, len(db.tables))
+	for _, t := range db.tables {
+		tabs = append(tabs, t)
+	}
+	db.mu.RUnlock()
+	sort.Slice(tabs, func(i, j int) bool { return tabs[i].name < tabs[j].name })
+	return snapshotTables(tabs)
+}
+
+// snapshotTables locks the tables (already sorted by name — the global
+// lock order), captures each snapshot while all locks are held, then
+// releases. Holding all locks for the O(partitions + shards) captures is
+// what makes the multi-table state atomic.
+func snapshotTables(tabs []*Table) *DatabaseSnapshot {
+	for _, t := range tabs {
+		t.mu.Lock()
+	}
+	snap := &DatabaseSnapshot{tables: make(map[string]*TableSnapshot, len(tabs))}
+	for _, t := range tabs {
+		snap.tables[t.name] = t.snapshotLocked()
+	}
+	for _, t := range tabs {
+		t.mu.Unlock()
+	}
+	return snap
+}
+
+// Table returns the snapshot of the named table, or nil when the table
+// was not part of the capture.
+func (s *DatabaseSnapshot) Table(name string) *TableSnapshot { return s.tables[name] }
+
+// MustTable returns the snapshot of the named table or panics.
+func (s *DatabaseSnapshot) MustTable(name string) *TableSnapshot {
+	t := s.tables[name]
+	if t == nil {
+		panic(fmt.Sprintf("engine: table %q not captured in database snapshot", name))
+	}
+	return t
+}
+
+// Close closes every captured table snapshot (see TableSnapshot.Close).
+func (s *DatabaseSnapshot) Close() {
+	for _, t := range s.tables {
+		t.Close()
+	}
+}
+
+// String summarizes the database snapshot for debugging.
+func (s *DatabaseSnapshot) String() string {
+	names := make([]string, 0, len(s.tables))
+	for n := range s.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return fmt.Sprintf("dbsnapshot%v", names)
 }
 
 func (t *Table) snapshotViewsLocked() *TableSnapshot {

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"patchindex/internal/core"
+	"patchindex/internal/exec"
 	"patchindex/internal/storage"
 )
 
@@ -343,4 +344,138 @@ func TestSnapshotViewsSurviveCheckpointCycle(t *testing.T) {
 	if fmt.Sprint(sortedCopy(got)) != fmt.Sprint(seq(40)) {
 		t.Fatalf("frozen views changed under updates")
 	}
+}
+
+// TestDatabaseSnapshotAtomicAcrossTables: a DatabaseSnapshot must
+// capture both tables at one instant — updates applied to table a
+// between the two per-table captures would otherwise leak in.
+func TestDatabaseSnapshotAtomicAcrossTables(t *testing.T) {
+	db := newDB(t)
+	singleColTable(t, db, "a", seq(10), 2)
+	singleColTable(t, db, "b", seq(10), 2)
+
+	snap := db.MustSnapshot("a", "b")
+	if err := db.Insert("a", []storage.Row{{storage.I64(100)}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert("b", []storage.Row{{storage.I64(100)}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.MustTable("a").NumRows() + snap.MustTable("b").NumRows(); got != 20 {
+		t.Fatalf("snapshot rows = %d, want 20", got)
+	}
+	if _, err := db.Snapshot("a", "missing"); err == nil {
+		t.Fatal("unknown table accepted")
+	}
+	snap.Close()
+	snap.Close() // idempotent
+}
+
+// TestDatabaseSnapshotJoinPrefixConsistent is the cross-table race test:
+// an updater appends matching batches to a dimension table ("orders")
+// and then to a fact table ("lineitem") — so at every update-query
+// boundary each fact key has its dimension partner — while readers
+// capture DatabaseSnapshots and join the two tables. An atomic
+// multi-table capture must always observe some prefix-consistent state:
+// every fact key finds its dimension partner (verified both by set
+// inclusion and by an actual hash join over the snapshot scans), and
+// each table's extras form complete, atomically inserted batches.
+// Per-table snapshots taken at their own instants fail this under -race
+// load: a fact batch can be captured before its dimension batch.
+func TestDatabaseSnapshotJoinPrefixConsistent(t *testing.T) {
+	const (
+		n      = 400
+		k      = 8
+		rounds = 50
+	)
+	db := newDB(t)
+	dim := singleColTable(t, db, "orders", seq(n), 2)
+	fact := singleColTable(t, db, "lineitem", seq(n), 3)
+	if err := dim.CreatePatchIndex("v", core.NearlyUnique, tinyOpts(core.DesignBitmap)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fact.CreatePatchIndex("v", core.NearlySorted, tinyOpts(core.DesignBitmap)); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // updater: dimension batch first, then the matching fact batch
+		defer wg.Done()
+		defer close(done)
+		for r := 0; r < rounds; r++ {
+			rows := make([]storage.Row, k)
+			for i := range rows {
+				rows[i] = storage.Row{storage.I64(int64(n + r*k + i))}
+			}
+			if err := db.Insert("orders", rows); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := db.Insert("lineitem", rows); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	for rd := 0; rd < 2; rd++ {
+		wg.Add(1)
+		go func() { // reader
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				snap := db.MustSnapshot("lineitem", "orders")
+				dimVals, err := CollectInt64(snap.MustTable("orders").ScanAll("v"))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				factVals, err := CollectInt64(snap.MustTable("lineitem").ScanAll("v"))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				dimSet := make(map[int64]bool, len(dimVals))
+				for _, v := range dimVals {
+					dimSet[v] = true
+				}
+				for _, v := range factVals {
+					if !dimSet[v] {
+						t.Errorf("fact key %d has no dimension partner in the snapshot", v)
+						snap.Close()
+						return
+					}
+				}
+				// Extras of each table must be whole batches (atomic inserts).
+				if (len(dimVals)-n)%k != 0 || (len(factVals)-n)%k != 0 {
+					t.Errorf("partial batch captured: dim %d fact %d", len(dimVals), len(factVals))
+					snap.Close()
+					return
+				}
+				// The same holds through an actual join over the snapshot:
+				// inner-joining fact against dim must keep every fact row.
+				join := exec.NewHashJoin(
+					snap.MustTable("lineitem").ScanAll("v"),
+					snap.MustTable("orders").ScanAll("v"), 0, 0)
+				joined, err := exec.Collect(join)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if len(joined) != len(factVals) {
+					t.Errorf("snapshot join lost rows: %d joined, %d fact", len(joined), len(factVals))
+					snap.Close()
+					return
+				}
+				snap.Close()
+			}
+		}()
+	}
+	wg.Wait()
 }

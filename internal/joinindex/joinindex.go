@@ -29,7 +29,15 @@ type Index struct {
 	// O(inserted keys) instead of O(dim) (updates handled in-memory,
 	// Section 6.3).
 	lookup map[int64]int64
+	// version counts maintenance calls; snapshot-bound plans use it to
+	// detect (and refuse) references captured after later maintenance.
+	version uint64
 }
+
+// Version returns the maintenance counter: it increments on every
+// rebuild and Handle* call, so a caller pairing CaptureRefs with an
+// engine snapshot can detect that maintenance ran in between.
+func (ji *Index) Version() uint64 { return ji.version }
 
 // Create computes the join index (the expensive full-join
 // materialization the paper times at ~600s vs ~100s for the PatchIndex).
@@ -54,6 +62,7 @@ func (ji *Index) dimLookup() map[int64]int64 {
 }
 
 func (ji *Index) rebuild() {
+	ji.version++
 	ji.lookup = ji.dimLookup()
 	lookup := ji.lookup
 	ji.refs = make([][]int64, ji.fact.NumPartitions())
@@ -74,6 +83,7 @@ func (ji *Index) rebuild() {
 // HandleDimInsert registers dimension rows appended at the global end of
 // the dimension table, keeping the cached key lookup current.
 func (ji *Index) HandleDimInsert(keys []int64, firstGlobalRowID int64) {
+	ji.version++
 	for i, k := range keys {
 		ji.lookup[k] = firstGlobalRowID + int64(i)
 	}
@@ -82,6 +92,7 @@ func (ji *Index) HandleDimInsert(keys []int64, firstGlobalRowID int64) {
 // HandleInsert extends partition p's references for rows appended at the
 // end of the fact partition (updates handled in-memory, Section 6.3).
 func (ji *Index) HandleInsert(p int, keys []int64) {
+	ji.version++
 	lookup := ji.lookup
 	for _, k := range keys {
 		if r, ok := lookup[k]; ok {
@@ -95,6 +106,7 @@ func (ji *Index) HandleInsert(p int, keys []int64) {
 // HandleDelete drops the references of the deleted fact rows (ascending
 // positions within partition p).
 func (ji *Index) HandleDelete(p int, positions []uint64) {
+	ji.version++
 	refs := ji.refs[p]
 	w := int(positions[0])
 	pi := 0
@@ -114,6 +126,7 @@ func (ji *Index) HandleDelete(p int, positions []uint64) {
 // deleted dimension rows become dangling (-1), surviving references
 // shift down by the number of deleted rows below them.
 func (ji *Index) HandleDimDelete(deleted []uint64) {
+	ji.version++
 	if len(deleted) == 0 {
 		return
 	}
@@ -145,26 +158,97 @@ func (ji *Index) dimColumnGlobal(col int) []int64 {
 	return out
 }
 
-// Join returns the join-index query plan: scan the fact columns and
-// gather the requested dimension int64 columns through the materialized
-// references. Unmatched fact rows are dropped (inner join semantics).
+// Join returns the join-index query plan over the live tables: scan the
+// fact columns and gather the requested dimension int64 columns through
+// the materialized references. Unmatched fact rows are dropped (inner
+// join semantics). For snapshot-consistent execution use JoinOn with
+// views captured from a DatabaseSnapshot.
 func (ji *Index) Join(factCols, dimCols []int) exec.Operator {
+	factViews := make([]*pdt.View, ji.fact.NumPartitions())
+	for p := range factViews {
+		factViews[p] = pdt.NewView(ji.fact.Partition(p), nil)
+	}
+	return ji.JoinOn(factViews, nil, nil, factCols, dimCols)
+}
+
+// CaptureRefs returns a deep copy of the per-partition reference
+// columns at the current instant. Capture them together with the
+// snapshot views the join will run over (the Index holds no lock, so
+// the capture must be serialized with maintenance calls by the driver,
+// exactly like the maintenance calls themselves); subsequent in-place
+// maintenance (HandleDelete/HandleDimDelete rewrite refs in place)
+// cannot disturb the captured copy.
+func (ji *Index) CaptureRefs() [][]int64 {
+	out := make([][]int64, len(ji.refs))
+	for p, r := range ji.refs {
+		out[p] = append([]int64(nil), r...)
+	}
+	return out
+}
+
+// JoinOn builds the join-index plan over externally captured partition
+// views — typically the frozen views of an engine DatabaseSnapshot, so
+// the fact scan and the dimension gather observe the same multi-table
+// instant as the rest of the query. factViews must hold one view per
+// fact partition; dimViews (one per dimension partition) may be nil to
+// gather from the live dimension table. refs must be a CaptureRefs copy
+// taken at the views' instant, or nil to capture now (only sound when
+// no maintenance ran since the views were captured).
+//
+// Snapshot mode (dimViews set) tolerates references that do not line up
+// with the views — fact rows beyond the captured references, or
+// references beyond the captured dimension rows, are treated as
+// unmatched. Live mode indexes the references directly, so a missed
+// maintenance call still fails loudly instead of silently dropping
+// rows.
+func (ji *Index) JoinOn(factViews []*pdt.View, dimViews []*pdt.View, refs [][]int64, factCols, dimCols []int) exec.Operator {
+	snapshotMode := dimViews != nil
+	if refs == nil {
+		if snapshotMode {
+			refs = ji.CaptureRefs()
+		} else {
+			refs = ji.refs
+		}
+	}
 	dimData := make([][]int64, len(dimCols))
 	dimSchema := make(storage.Schema, len(dimCols))
+	dimRows := int64(ji.dim.NumRows())
+	if snapshotMode {
+		// The references encode base-storage global rowIDs (that is how
+		// dimLookup and all maintenance compute them), so the gather
+		// array and the stale-reference bound must come from the views'
+		// frozen BASE partitions. Merging pending deltas in would shift
+		// every later partition's positions and silently gather wrong
+		// tuples; delta-pending dimension rows have no references yet
+		// and stay unmatched by construction.
+		dimRows = 0
+		for _, v := range dimViews {
+			dimRows += int64(v.Base.NumRows())
+		}
+	}
 	for i, c := range dimCols {
-		dimData[i] = ji.dimColumnGlobal(c)
+		if snapshotMode {
+			var col []int64
+			for _, v := range dimViews {
+				col = append(col, v.Base.Column(c).Int64s()...)
+			}
+			dimData[i] = col
+		} else {
+			dimData[i] = ji.dimColumnGlobal(c)
+		}
 		dimSchema[i] = ji.dim.Schema()[c]
 	}
-	parts := make([]exec.Operator, ji.fact.NumPartitions())
-	for p := 0; p < ji.fact.NumPartitions(); p++ {
-		view := pdt.NewView(ji.fact.Partition(p), nil)
-		scan := exec.NewScan(view, factCols)
+	parts := make([]exec.Operator, len(factViews))
+	for p := range factViews {
+		scan := exec.NewScan(factViews[p], factCols)
 		parts[p] = &gather{
 			scan:      scan,
-			refs:      ji.refs[p],
+			refs:      refs[p],
 			dimData:   dimData,
+			dimRows:   dimRows,
 			schema:    append(append(storage.Schema{}, scan.Schema()...), dimSchema...),
 			factWidth: len(factCols),
+			strict:    !snapshotMode,
 		}
 	}
 	if len(parts) == 1 {
@@ -188,9 +272,15 @@ type gather struct {
 	scan      *exec.Scan
 	refs      []int64
 	dimData   [][]int64
+	dimRows   int64 // rows per dimData column
 	schema    storage.Schema
 	factWidth int
-	out       *exec.Batch
+	// strict marks live-mode gathers: references are maintained in
+	// lock-step with the tables, so an out-of-range access is a missed
+	// maintenance call and panics loudly. Snapshot-mode gathers instead
+	// treat misaligned references as unmatched.
+	strict bool
+	out    *exec.Batch
 }
 
 func (g *gather) Schema() storage.Schema { return g.schema }
@@ -206,8 +296,15 @@ func (g *gather) Next() (*exec.Batch, error) {
 	g.out.Reset()
 	n := in.Len()
 	for i := 0; i < n; i++ {
-		ref := g.refs[in.RowIDs[i]]
-		if ref < 0 {
+		rid := in.RowIDs[i]
+		if !g.strict && int(rid) >= len(g.refs) {
+			// A snapshot view can extend past the captured references
+			// when fact rows were appended after the capture; those rows
+			// have no reference yet and stay unmatched.
+			continue
+		}
+		ref := g.refs[rid]
+		if ref < 0 || (!g.strict && ref >= g.dimRows) {
 			continue
 		}
 		for c := 0; c < g.factWidth; c++ {

@@ -4,11 +4,20 @@
 // Physically reordering is expensive to create and to maintain under
 // updates, and only one SortKey can exist per table — the drawbacks the
 // PatchIndex avoids by leaving the physical order untouched.
+//
+// The physical reorder rewrites the shared column arrays in place, which
+// would silently corrupt any live engine snapshot referencing them.
+// CreateEngine and RebuildChecked therefore go through the engine's
+// ExclusiveStorage guard and refuse to run while explicitly captured
+// snapshots are open; the raw Create entry point remains for
+// storage-level experiment code that owns its table outright.
 package sortkey
 
 import (
+	"fmt"
 	"sort"
 
+	"patchindex/internal/engine"
 	"patchindex/internal/exec"
 	"patchindex/internal/pdt"
 	"patchindex/internal/storage"
@@ -21,14 +30,43 @@ type SortKey struct {
 	desc  bool
 	// Rebuilds counts physical re-sorts, for the update experiments.
 	Rebuilds int
+	// guard wraps the physical reorder for engine-owned tables
+	// (Table.ExclusiveStorage); nil for raw storage-level SortKeys.
+	guard func(func(*storage.Table) error) error
 }
 
-// Create physically sorts every partition of table by col.
+// Create physically sorts every partition of table by col. It bypasses
+// any snapshot tracking — the caller must own the table exclusively. For
+// tables managed by the engine, use CreateEngine instead.
 func Create(table *storage.Table, col int, desc bool) *SortKey {
 	s := &SortKey{table: table, col: col, desc: desc}
 	s.rebuild()
 	s.Rebuilds = 0
 	return s
+}
+
+// CreateEngine physically sorts an engine table's partitions by the
+// named column through the engine's snapshot guard: it refuses (with an
+// error, sorting nothing) while explicitly captured snapshots of the
+// table are open, because the in-place reorder would corrupt their
+// frozen views. Subsequent re-sorts of the returned SortKey go through
+// the same guard.
+func CreateEngine(t *engine.Table, column string, desc bool) (*SortKey, error) {
+	col := t.Schema().ColumnIndex(column)
+	if col < 0 {
+		return nil, fmt.Errorf("sortkey: unknown column %q on table %q", column, t.Name())
+	}
+	s := &SortKey{col: col, desc: desc, guard: t.ExclusiveStorage}
+	err := s.guard(func(st *storage.Table) error {
+		s.table = st
+		s.rebuild()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.Rebuilds = 0
+	return s, nil
 }
 
 func (s *SortKey) rebuild() {
@@ -39,8 +77,28 @@ func (s *SortKey) rebuild() {
 }
 
 // Rebuild re-sorts the table — the per-update maintenance cost of the
-// SortKey approach.
-func (s *SortKey) Rebuild() { s.rebuild() }
+// SortKey approach. Engine-guarded SortKeys (CreateEngine) panic when
+// the rebuild is refused because snapshots are open; use RebuildChecked
+// to handle the refusal gracefully.
+func (s *SortKey) Rebuild() {
+	if err := s.RebuildChecked(); err != nil {
+		panic(err)
+	}
+}
+
+// RebuildChecked re-sorts the table through the snapshot guard when one
+// is attached, returning the guard's refusal instead of reordering
+// storage out from under live snapshots.
+func (s *SortKey) RebuildChecked() error {
+	if s.guard == nil {
+		s.rebuild()
+		return nil
+	}
+	return s.guard(func(*storage.Table) error {
+		s.rebuild()
+		return nil
+	})
+}
 
 // sortPartition reorders all columns of p by the key column.
 func sortPartition(p *storage.Partition, col int, desc bool) {

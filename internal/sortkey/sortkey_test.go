@@ -5,6 +5,7 @@ import (
 	"sort"
 	"testing"
 
+	"patchindex/internal/engine"
 	"patchindex/internal/exec"
 	"patchindex/internal/storage"
 )
@@ -90,5 +91,80 @@ func TestMemoryBytesZero(t *testing.T) {
 	sk := Create(table([]int64{1}, 1), 0, false)
 	if sk.MemoryBytes() != 0 {
 		t.Fatal("SortKey should have no memory overhead")
+	}
+}
+
+// --- the snapshot guard (the SortKey gap from the ROADMAP) ---
+
+func engineTable(t *testing.T, vals []int64) (*engine.Database, *engine.Table) {
+	t.Helper()
+	db := engine.NewDatabase()
+	tb, err := db.CreateTable("t", storage.Schema{{Name: "v", Kind: storage.KindInt64}}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine.LoadColumnInt64(tb, vals)
+	return db, tb
+}
+
+// TestCreateEngineRefusesWithOpenSnapshot: physically reordering storage
+// while a live snapshot references the table would corrupt the
+// snapshot's frozen views in place; the guarded entry point must refuse
+// until the snapshot is closed.
+func TestCreateEngineRefusesWithOpenSnapshot(t *testing.T) {
+	_, tb := engineTable(t, []int64{3, 1, 2, 5, 4, 0})
+	snap := tb.Snapshot()
+
+	if _, err := CreateEngine(tb, "v", false); err == nil {
+		t.Fatal("CreateEngine ran while a snapshot was open")
+	}
+	// The refused create must not have reordered anything.
+	if got := tb.Store().Partition(0).Column(0).Int64s(); got[0] != 3 {
+		t.Fatalf("refused create still reordered storage: %v", got)
+	}
+	before := snap.NumRows()
+
+	snap.Close()
+	sk, err := CreateEngine(tb, "v", false)
+	if err != nil {
+		t.Fatalf("CreateEngine after Close: %v", err)
+	}
+	if sk == nil || snap.NumRows() != before {
+		t.Fatal("guarded create broke the closed snapshot's bookkeeping")
+	}
+	p0 := tb.Store().Partition(0).Column(0).Int64s()
+	if !sort.SliceIsSorted(p0, func(i, j int) bool { return p0[i] < p0[j] }) {
+		t.Fatalf("partition 0 not sorted after guarded create: %v", p0)
+	}
+
+	// Rebuild goes through the same guard.
+	snap2 := tb.Snapshot()
+	if err := sk.RebuildChecked(); err == nil {
+		t.Fatal("RebuildChecked ran while a snapshot was open")
+	}
+	snap2.Close()
+	if err := sk.RebuildChecked(); err != nil {
+		t.Fatalf("RebuildChecked after Close: %v", err)
+	}
+}
+
+// TestCreateEngineDatabaseSnapshotGuard: snapshots captured through the
+// multi-table DatabaseSnapshot hold the guard too.
+func TestCreateEngineDatabaseSnapshotGuard(t *testing.T) {
+	db, tb := engineTable(t, []int64{2, 1, 0})
+	snap := db.MustSnapshot("t")
+	if _, err := CreateEngine(tb, "v", false); err == nil {
+		t.Fatal("CreateEngine ran under an open DatabaseSnapshot")
+	}
+	snap.Close()
+	if _, err := CreateEngine(tb, "v", false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCreateEngineUnknownColumn(t *testing.T) {
+	_, tb := engineTable(t, []int64{1})
+	if _, err := CreateEngine(tb, "missing", false); err == nil {
+		t.Fatal("unknown column accepted")
 	}
 }

@@ -89,6 +89,10 @@ type Dataset struct {
 	// nextOrderKey continues the o_orderkey sequence for RF1.
 	nextOrderKey int64
 	rng          *rand.Rand
+
+	// ji remembers the JoinIndex built by CreateJoinIndex so Queries can
+	// capture its reference columns eagerly at snapshot-binding time.
+	ji *joinindex.Index
 }
 
 // Schemas of the generated tables.
@@ -274,11 +278,13 @@ func (ds *Dataset) CreatePatchIndex() error {
 }
 
 // CreateJoinIndex materializes the lineitem ⋈ orders foreign-key join —
-// the JoinIndex comparator.
+// the JoinIndex comparator. The Dataset remembers it so snapshot-bound
+// Queries capture its reference columns at binding time.
 func (ds *Dataset) CreateJoinIndex() *joinindex.Index {
-	return joinindex.Create(
+	ds.ji = joinindex.Create(
 		ds.DB.MustTable("lineitem").Store(), 0,
 		ds.DB.MustTable("orders").Store(), 0)
+	return ds.ji
 }
 
 // ExceptionRate reports the discovered exception rate on lineitem.

@@ -1,0 +1,106 @@
+package tpch
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"patchindex/internal/exec"
+	"patchindex/internal/joinindex"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the TPC-H golden result files")
+
+// goldenConfigs pins the generator inputs of the golden runs. Seed and
+// scale are fixed so the expected aggregates are fully reproducible.
+var goldenConfigs = []struct {
+	name string
+	e    float64
+}{
+	{"e0", 0},
+	{"e5", 0.05},
+}
+
+func goldenDataset(t *testing.T, e float64) *Dataset {
+	t.Helper()
+	ds, err := Generate(Config{SF: 0.002, ExceptionRate: e, LineitemPartitions: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.CreatePatchIndex(); err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// goldenRun renders one query's rows in canonical (sorted, fixed float
+// precision) form, as produced by rowsKey/sortRows — the same rendering
+// the cross-mode comparisons use.
+func goldenRun(t *testing.T, q *Queries, name string, mode Mode, ji *joinindex.Index) string {
+	t.Helper()
+	queries := map[string]func(Mode, *joinindex.Index) (exec.Operator, error){
+		"Q3": q.Q3, "Q7": q.Q7, "Q12": q.Q12,
+	}
+	op, err := queries[name](mode, ji)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := ResultRows(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rowsKey(sortRows(rows))
+}
+
+// TestGoldenResults is the golden-result regression test: at a fixed
+// seed, every query is executed both via the patch-indexed plan and via
+// the naive full-scan reference plan, on ONE shared DatabaseSnapshot.
+// The two must return identical rows, and the canonical rendering of
+// the rows must match the committed golden file, so a silent change in
+// plan construction, shard COW, generator determinism, or aggregation
+// shows up as a diff. Regenerate with: go test ./internal/tpch -run
+// TestGoldenResults -update
+func TestGoldenResults(t *testing.T) {
+	var b strings.Builder
+	for _, cfg := range goldenConfigs {
+		ds := goldenDataset(t, cfg.e)
+		q := ds.Queries() // one snapshot for all queries and both plans
+		defer q.Close()
+		for _, name := range []string{"Q3", "Q7", "Q12"} {
+			ref := goldenRun(t, q, name, ModeReference, nil)
+			pi := goldenRun(t, q, name, ModePatchIndex, nil)
+			if pi != ref {
+				t.Fatalf("%s/%s: patch-indexed plan disagrees with full-scan reference:\nPI:\n%s\nref:\n%s",
+					cfg.name, name, pi, ref)
+			}
+			if name != "Q3" && ref == "" {
+				t.Fatalf("%s/%s returned no rows; weak golden", cfg.name, name)
+			}
+			fmt.Fprintf(&b, "== %s %s ==\n%s", cfg.name, name, ref)
+		}
+	}
+	got := b.String()
+
+	path := filepath.Join("testdata", "golden_sf0.002_seed7.txt")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("TPC-H results diverged from the committed goldens.\nIf the change is intentional, regenerate with -update.\ngot:\n%s\nwant:\n%s",
+			got, want)
+	}
+}

@@ -2,7 +2,9 @@ package tpch
 
 import (
 	"fmt"
+	"sync"
 
+	"patchindex/internal/engine"
 	"patchindex/internal/exec"
 	"patchindex/internal/joinindex"
 	"patchindex/internal/plan"
@@ -51,9 +53,124 @@ var (
 	q12To     = Date(1995, 1, 1)
 )
 
-func (ds *Dataset) joinInput(factCols []int, transform func(exec.Operator) exec.Operator, dim func() exec.Operator) plan.JoinInput {
+// queryTables lists the tables the Q3/Q7/Q12 subset reads; a Queries
+// snapshot captures all of them atomically. (The nation table is not
+// captured: Q7 resolves its two nation keys to constants up front and
+// never scans it.)
+var queryTables = []string{"customer", "lineitem", "orders", "supplier"}
+
+// Snapshot atomically captures the TPC-H tables the query subset reads.
+// All tables are captured at one instant (the per-table locks are held
+// together), so a lineitem ⋈ orders join planned against the snapshot
+// can never observe lineitem after a refresh and orders before it.
+func (ds *Dataset) Snapshot() *engine.DatabaseSnapshot {
+	return ds.DB.MustSnapshot(queryTables...)
+}
+
+// Queries runs the Fig. 10 query subset against one immutable
+// DatabaseSnapshot: every table scan, planner input, and JoinIndex
+// gather of Q3/Q7/Q12 reads the same multi-table instant, and repeated
+// executions return identical results regardless of concurrent
+// refreshes.
+//
+// ModeJoinIndex caveat: the JoinIndex's reference columns live outside
+// the engine. They are captured (deep-copied) on the first
+// JoinIndex-mode plan built from this Queries and pinned for its
+// lifetime; for the Dataset's registered JoinIndex (CreateJoinIndex)
+// the binding records the index's maintenance version, and a first
+// build after intervening maintenance is refused with an error instead
+// of silently gathering misaligned references. (Concurrent maintenance
+// is out of scope either way — the JoinIndex comparator requires
+// driver-serialized maintenance calls.)
+type Queries struct {
+	snap *engine.DatabaseSnapshot
+
+	// boundJI/boundVersion pin the registered JoinIndex's maintenance
+	// version at snapshot-binding time for the staleness check.
+	boundJI      *joinindex.Index
+	boundVersion uint64
+
+	mu     sync.Mutex
+	jiRefs map[*joinindex.Index][][]int64
+}
+
+// Queries captures a fresh snapshot and returns the query set bound to
+// it. Call Close when done if the tables may later be physically
+// reorganized (sortkey.CreateEngine).
+func (ds *Dataset) Queries() *Queries { return ds.QueriesAt(ds.Snapshot()) }
+
+// QueriesAt binds the query set to an existing snapshot (e.g. to run
+// several queries, or one query in several modes, at one instant). The
+// Dataset's registered JoinIndex has its maintenance version recorded
+// here, so a stale reference capture is detected instead of silently
+// misaligning with the frozen views.
+func (ds *Dataset) QueriesAt(snap *engine.DatabaseSnapshot) *Queries {
+	q := &Queries{snap: snap}
+	if ds.ji != nil {
+		q.boundJI = ds.ji
+		q.boundVersion = ds.ji.Version()
+	}
+	return q
+}
+
+// Close closes the underlying DatabaseSnapshot (releasing the engine's
+// physical-reorder guard); the snapshot's data stays readable.
+func (q *Queries) Close() { q.snap.Close() }
+
+// Q3/Q7/Q12 on the Dataset capture a fresh multi-table snapshot per
+// call — the convenience entry points used by the experiments. Their
+// snapshot is closed before the operator is returned: like the engine's
+// own query entry points, these ephemeral per-query snapshots are not
+// tracked by the physical-reorder guard, so repeated queries don't
+// wedge it. The flip side (same as for the engine's entry points, see
+// Table.ExclusiveStorage): the returned operator must be drained before
+// any physical reorder (sortkey.CreateEngine) runs — the guard no
+// longer protects it. Hold an explicit Queries and Close it after
+// draining to keep the guard for the whole query lifetime.
+func (ds *Dataset) Q3(mode Mode, ji *joinindex.Index) (exec.Operator, error) {
+	q := ds.Queries()
+	defer q.Close()
+	return q.Q3(mode, ji)
+}
+
+func (ds *Dataset) Q7(mode Mode, ji *joinindex.Index) (exec.Operator, error) {
+	q := ds.Queries()
+	defer q.Close()
+	return q.Q7(mode, ji)
+}
+
+func (ds *Dataset) Q12(mode Mode, ji *joinindex.Index) (exec.Operator, error) {
+	q := ds.Queries()
+	defer q.Close()
+	return q.Q12(mode, ji)
+}
+
+// refsFor returns the JoinIndex reference columns pinned to this
+// Queries, capturing them on first use so every JoinIndex-mode plan
+// built from one snapshot gathers through the same reference state even
+// if maintenance runs between builds. A first capture of the registered
+// JoinIndex after intervening maintenance is refused: the references no
+// longer line up with the snapshot's frozen views.
+func (q *Queries) refsFor(ji *joinindex.Index) ([][]int64, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.jiRefs == nil {
+		q.jiRefs = make(map[*joinindex.Index][][]int64, 1)
+	}
+	refs, ok := q.jiRefs[ji]
+	if !ok {
+		if ji == q.boundJI && ji.Version() != q.boundVersion {
+			return nil, fmt.Errorf("tpch: JoinIndex maintenance ran after this snapshot was captured; bind a fresh Queries")
+		}
+		refs = ji.CaptureRefs()
+		q.jiRefs[ji] = refs
+	}
+	return refs, nil
+}
+
+func (q *Queries) joinInput(factCols []int, transform func(exec.Operator) exec.Operator, dim func() exec.Operator) plan.JoinInput {
 	return plan.JoinInput{
-		Fact:          ds.DB.MustTable("lineitem").Inputs("l_orderkey"),
+		Fact:          q.snap.MustTable("lineitem").Inputs("l_orderkey"),
 		FactCols:      factCols,
 		FactKey:       0,
 		Dim:           dim,
@@ -64,8 +181,11 @@ func (ds *Dataset) joinInput(factCols []int, transform func(exec.Operator) exec.
 
 // joined builds the lineitem ⋈ orders core of a query in the requested
 // mode. ji is only used by ModeJoinIndex; dimCols are the orders columns
-// a JoinIndex gather must fetch (excluding o_orderkey).
-func (ds *Dataset) joined(mode Mode, in plan.JoinInput, ji *joinindex.Index, factCols, jiDimCols []int, jiTransform func(exec.Operator) exec.Operator) (exec.Operator, error) {
+// a JoinIndex gather must fetch (excluding o_orderkey). The JoinIndex
+// path scans the snapshot's frozen lineitem views and gathers from the
+// snapshot's frozen orders views, keeping it on the same instant as the
+// other modes.
+func (q *Queries) joined(mode Mode, in plan.JoinInput, ji *joinindex.Index, factCols, jiDimCols []int, jiTransform func(exec.Operator) exec.Operator) (exec.Operator, error) {
 	switch mode {
 	case ModeReference:
 		return plan.JoinReference(in, plan.Options{}), nil
@@ -77,7 +197,13 @@ func (ds *Dataset) joined(mode Mode, in plan.JoinInput, ji *joinindex.Index, fac
 		if ji == nil {
 			return nil, fmt.Errorf("tpch: ModeJoinIndex requires a JoinIndex")
 		}
-		return jiTransform(ji.Join(factCols, jiDimCols)), nil
+		refs, err := q.refsFor(ji)
+		if err != nil {
+			return nil, err
+		}
+		fact := q.snap.MustTable("lineitem").Views()
+		dim := q.snap.MustTable("orders").Views()
+		return jiTransform(ji.JoinOn(fact, dim, refs, factCols, jiDimCols)), nil
 	}
 	return nil, fmt.Errorf("tpch: unknown mode %d", mode)
 }
@@ -92,13 +218,13 @@ func (ds *Dataset) joined(mode Mode, in plan.JoinInput, ji *joinindex.Index, fac
 //	  AND l_orderkey = o_orderkey AND o_orderdate < 1995-03-15
 //	  AND l_shipdate > 1995-03-15
 //	GROUP BY l_orderkey, o_orderdate, o_shippriority
-func (ds *Dataset) Q3(mode Mode, ji *joinindex.Index) (exec.Operator, error) {
+func (q *Queries) Q3(mode Mode, ji *joinindex.Index) (exec.Operator, error) {
 	customerBuild := func() exec.Operator {
-		c := ds.DB.MustTable("customer")
+		c := q.snap.MustTable("customer")
 		return exec.NewFilter(c.ScanAll("c_custkey", "c_mktsegment"), exec.StrEq(1, q3Segment))
 	}
 	dim := func() exec.Operator {
-		o := ds.DB.MustTable("orders")
+		o := q.snap.MustTable("orders")
 		scan := o.ScanAll("o_orderkey", "o_custkey", "o_orderdate", "o_shippriority")
 		filtered := exec.NewFilter(scan, exec.Int64Less(2, q3Date))
 		// Probe side = orders: preserves o_orderkey order for MergeJoin.
@@ -123,7 +249,7 @@ func (ds *Dataset) Q3(mode Mode, ji *joinindex.Index) (exec.Operator, error) {
 			))
 			return exec.NewHashJoin(f, customerBuild(), 4, 0) // o_custkey
 		}
-		joined, err = ds.joined(mode, plan.JoinInput{}, ji, factCols, []int{1, 2, 3}, jiTransform)
+		joined, err = q.joined(mode, plan.JoinInput{}, ji, factCols, []int{1, 2, 3}, jiTransform)
 		if err != nil {
 			return nil, err
 		}
@@ -138,8 +264,8 @@ func (ds *Dataset) Q3(mode Mode, ji *joinindex.Index) (exec.Operator, error) {
 		return exec.NewLimit(exec.NewSort(agg, exec.SortKey{Col: 3, Desc: true}), 10), nil
 	}
 
-	in := ds.joinInput(factCols, shipFilter, dim)
-	joined, err = ds.joined(mode, in, nil, nil, nil, nil)
+	in := q.joinInput(factCols, shipFilter, dim)
+	joined, err = q.joined(mode, in, nil, nil, nil, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -163,7 +289,7 @@ func (ds *Dataset) Q3(mode Mode, ji *joinindex.Index) (exec.Operator, error) {
 //	  AND ((n1=FRANCE AND n2=GERMANY) OR (n1=GERMANY AND n2=FRANCE))
 //	  AND l_shipdate BETWEEN 1995-01-01 AND 1996-12-31
 //	GROUP BY supp_nation, cust_nation, l_year
-func (ds *Dataset) Q7(mode Mode, ji *joinindex.Index) (exec.Operator, error) {
+func (q *Queries) Q7(mode Mode, ji *joinindex.Index) (exec.Operator, error) {
 	nationPair := func(sCol, cCol int) exec.Pred {
 		return func(b *exec.Batch, i int) bool {
 			s, c := b.Cols[sCol].I64[i], b.Cols[cCol].I64[i]
@@ -171,21 +297,21 @@ func (ds *Dataset) Q7(mode Mode, ji *joinindex.Index) (exec.Operator, error) {
 		}
 	}
 	supplierBuild := func() exec.Operator {
-		s := ds.DB.MustTable("supplier")
+		s := q.snap.MustTable("supplier")
 		return exec.NewFilter(s.ScanAll("s_suppkey", "s_nationkey"), func(b *exec.Batch, i int) bool {
 			n := b.Cols[1].I64[i]
 			return n == q7Nation1 || n == q7Nation2
 		})
 	}
 	customerBuild := func() exec.Operator {
-		c := ds.DB.MustTable("customer")
+		c := q.snap.MustTable("customer")
 		return exec.NewFilter(c.ScanAll("c_custkey", "c_nationkey"), func(b *exec.Batch, i int) bool {
 			n := b.Cols[1].I64[i]
 			return n == q7Nation1 || n == q7Nation2
 		})
 	}
 	dim := func() exec.Operator {
-		o := ds.DB.MustTable("orders")
+		o := q.snap.MustTable("orders")
 		scan := o.ScanAll("o_orderkey", "o_custkey")
 		return exec.NewHashJoin(scan, customerBuild(), 1, 0)
 	}
@@ -207,11 +333,11 @@ func (ds *Dataset) Q7(mode Mode, ji *joinindex.Index) (exec.Operator, error) {
 			sj := exec.NewHashJoin(f, supplierBuild(), 1, 0)   // + s_sk, s_nat
 			return exec.NewHashJoin(sj, customerBuild(), 5, 0) // + c_ck, c_nat
 		}
-		joined, err = ds.joined(mode, plan.JoinInput{}, ji, factCols, []int{1}, jiTransform)
+		joined, err = q.joined(mode, plan.JoinInput{}, ji, factCols, []int{1}, jiTransform)
 		sNat, cNat, ship, ext, disc = 7, 9, 2, 3, 4
 	} else {
-		in := ds.joinInput(factCols, transform, dim)
-		joined, err = ds.joined(mode, in, nil, nil, nil, nil)
+		in := q.joinInput(factCols, transform, dim)
+		joined, err = q.joined(mode, in, nil, nil, nil, nil)
 		// Joined: [l_ok, l_sk, l_ship, l_ext, l_disc, s_sk, s_nat] ++
 		// [o_ok, o_ck, c_ck, c_nat].
 		sNat, cNat, ship, ext, disc = 6, 10, 2, 3, 4
@@ -246,7 +372,7 @@ func (ds *Dataset) Q7(mode Mode, ji *joinindex.Index) (exec.Operator, error) {
 //	  AND l_commitdate < l_receiptdate AND l_shipdate < l_commitdate
 //	  AND l_receiptdate >= 1994-01-01 AND l_receiptdate < 1995-01-01
 //	GROUP BY l_shipmode
-func (ds *Dataset) Q12(mode Mode, ji *joinindex.Index) (exec.Operator, error) {
+func (q *Queries) Q12(mode Mode, ji *joinindex.Index) (exec.Operator, error) {
 	// Fact projection: [l_orderkey, l_shipdate, l_commitdate,
 	// l_receiptdate, l_shipmode].
 	factCols := []int{0, 2, 3, 4, 7}
@@ -258,18 +384,18 @@ func (ds *Dataset) Q12(mode Mode, ji *joinindex.Index) (exec.Operator, error) {
 	)
 	transform := func(op exec.Operator) exec.Operator { return exec.NewFilter(op, liPred) }
 	dim := func() exec.Operator {
-		return ds.DB.MustTable("orders").ScanAll("o_orderkey", "o_orderpriority")
+		return q.snap.MustTable("orders").ScanAll("o_orderkey", "o_orderpriority")
 	}
 
 	var joined exec.Operator
 	var err error
 	var prioCol int
 	if mode == ModeJoinIndex {
-		joined, err = ds.joined(mode, plan.JoinInput{}, ji, factCols, []int{4}, transform)
+		joined, err = q.joined(mode, plan.JoinInput{}, ji, factCols, []int{4}, transform)
 		prioCol = 5
 	} else {
-		in := ds.joinInput(factCols, transform, dim)
-		joined, err = ds.joined(mode, in, nil, nil, nil, nil)
+		in := q.joinInput(factCols, transform, dim)
+		joined, err = q.joined(mode, in, nil, nil, nil, nil)
 		prioCol = 6
 	}
 	if err != nil {

@@ -85,9 +85,12 @@ func (ds *Dataset) RF2(n int, ji *joinindex.Index) (int, error) {
 	if n < 1 {
 		n = 1
 	}
-	// Determine the key range of the n smallest orderkeys.
+	// Determine the key range of the n smallest orderkeys. Read through
+	// the non-freezing accessor: this is a read-modify-write, and a View
+	// here would mark the base generation shared and force the delete
+	// checkpoint below to clone whole partitions.
 	orders := ds.DB.MustTable("orders")
-	keys := orders.View(0).MaterializeInt64(0)
+	keys := orders.ReadInt64Column(0, "o_orderkey")
 	if len(keys) == 0 {
 		return 0, nil
 	}
@@ -101,7 +104,7 @@ func (ds *Dataset) RF2(n int, ji *joinindex.Index) (int, error) {
 	li := ds.DB.MustTable("lineitem")
 	var deleted int
 	for p := 0; p < li.NumPartitions(); p++ {
-		vals := li.View(p).MaterializeInt64(0)
+		vals := li.ReadInt64Column(p, "l_orderkey")
 		var rowIDs []uint64
 		for i, v := range vals {
 			if v <= maxKey {

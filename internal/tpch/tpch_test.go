@@ -3,8 +3,10 @@ package tpch
 import (
 	"fmt"
 	"math"
+	"sync"
 	"testing"
 
+	"patchindex/internal/engine"
 	"patchindex/internal/exec"
 	"patchindex/internal/joinindex"
 	"patchindex/internal/storage"
@@ -285,5 +287,189 @@ func TestJoinIndexModeRequiresIndex(t *testing.T) {
 	ds := smallDataset(t, 0)
 	if _, err := ds.Q3(ModeJoinIndex, nil); err == nil {
 		t.Fatal("ModeJoinIndex without index did not error")
+	}
+}
+
+// TestSnapshotQueriesUnderRefreshStream races DatabaseSnapshot-based
+// queries against the RF1/RF2 refresh stream. Each refresh keeps the
+// cross-table invariant "every lineitem's orderkey exists in orders" at
+// every update-query boundary (RF1 inserts orders before their
+// lineitems; RF2 deletes lineitems before their orders), so an atomic
+// multi-table snapshot must always satisfy it — per-table snapshots
+// captured at their own instants could see a lineitem batch whose
+// orders are missing. On the same snapshot, the patch-indexed Q12 plan
+// must agree with the full-scan reference plan. Run with -race.
+func TestSnapshotQueriesUnderRefreshStream(t *testing.T) {
+	ds := smallDataset(t, 0.05)
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // updater: the refresh stream
+		defer wg.Done()
+		defer close(done)
+		for r := 0; r < 12; r++ {
+			if _, err := ds.RF1(4, nil); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := ds.RF2(4, nil); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	wg.Add(1)
+	go func() { // reader
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			snap := ds.Snapshot()
+			q := ds.QueriesAt(snap)
+
+			// Cross-table prefix consistency of the captured instant.
+			liKeys, err := engine.CollectInt64(snap.MustTable("lineitem").ScanAll("l_orderkey"))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			ordKeys, err := engine.CollectInt64(snap.MustTable("orders").ScanAll("o_orderkey"))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			ordSet := make(map[int64]bool, len(ordKeys))
+			for _, k := range ordKeys {
+				ordSet[k] = true
+			}
+			for _, k := range liKeys {
+				if !ordSet[k] {
+					t.Errorf("snapshot holds lineitem with orderkey %d but no such order", k)
+					snap.Close()
+					return
+				}
+			}
+
+			// Both plans on the same snapshot agree. (t.Fatal is not
+			// legal off the test goroutine, so no mustOp here.)
+			refOp, err := q.Q12(ModeReference, nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			want, err := ResultRows(refOp)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			piOp, err := q.Q12(ModePatchIndex, nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got, err := ResultRows(piOp)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if rowsKey(sortRows(got)) != rowsKey(sortRows(want)) {
+				t.Error("Q12 plans disagree on one snapshot under refresh load")
+				snap.Close()
+				return
+			}
+			snap.Close()
+		}
+	}()
+	wg.Wait()
+
+	// The stream must have left the index consistent.
+	for _, x := range ds.DB.MustTable("lineitem").PatchIndexes("l_orderkey") {
+		if err := x.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestConvenienceQueriesDontWedgeReorderGuard: the Dataset.Q3/Q7/Q12
+// wrappers close their ephemeral snapshot before returning, so repeated
+// convenience queries must not permanently block the engine's
+// physical-reorder guard; an explicitly held Queries snapshot must.
+func TestConvenienceQueriesDontWedgeReorderGuard(t *testing.T) {
+	ds := smallDataset(t, 0)
+	noop := func(*storage.Table) error { return nil }
+	if _, err := ds.Q12(ModePatchIndex, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.DB.MustTable("orders").ExclusiveStorage(noop); err != nil {
+		t.Fatalf("reorder guard wedged after convenience query: %v", err)
+	}
+	q := ds.Queries()
+	if err := ds.DB.MustTable("orders").ExclusiveStorage(noop); err == nil {
+		t.Fatal("open Queries snapshot did not hold the reorder guard")
+	}
+	q.Close()
+	if err := ds.DB.MustTable("orders").ExclusiveStorage(noop); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestJoinIndexPlanSurvivesRefreshAfterBuild: the reference columns of
+// a Queries' JoinIndex plans are captured once, at the first
+// JoinIndex-mode build, and pinned. Refresh maintenance (which rewrites
+// ji.refs in place) after that capture must change neither a plan
+// already built (drained later) nor a plan built later from the same
+// Queries — both still gather through the pinned, snapshot-consistent
+// references.
+func TestJoinIndexPlanSurvivesRefreshAfterBuild(t *testing.T) {
+	ds := smallDataset(t, 0.05)
+	ji := ds.CreateJoinIndex()
+	q := ds.QueriesAt(ds.Snapshot())
+	beforeOp := mustOp(t)(q.Q3(ModeJoinIndex, ji)) // captures+pins the refs
+	pendingOp := mustOp(t)(q.Q3(ModeJoinIndex, ji))
+	want, err := ResultRows(beforeOp) // drained before the refresh
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two refresh rounds rewrite refs in place and shift dim rowIDs.
+	if _, err := ds.RF2(10, ji); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ds.RF1(10, ji); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ResultRows(pendingOp) // built before, drained after
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rowsKey(sortRows(got)) != rowsKey(sortRows(want)) {
+		t.Fatal("JoinIndex plan result changed when refresh ran between build and drain")
+	}
+	lateOp := mustOp(t)(q.Q3(ModeJoinIndex, ji)) // built after the refresh
+	late, err := ResultRows(lateOp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rowsKey(sortRows(late)) != rowsKey(sortRows(want)) {
+		t.Fatal("JoinIndex plan built after refresh on the same snapshot disagrees")
+	}
+
+	// A FRESH Queries whose first JoinIndex capture would happen after
+	// maintenance is refused via the version check rather than
+	// gathering misaligned references.
+	stale := ds.QueriesAt(ds.Snapshot())
+	defer stale.Close()
+	if _, err := ds.RF2(5, ji); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stale.Q3(ModeJoinIndex, ji); err == nil {
+		t.Fatal("stale JoinIndex capture was not refused")
+	}
+	if _, err := stale.Q3(ModePatchIndex, nil); err != nil {
+		t.Fatalf("non-JoinIndex modes must still work on the stale-bound Queries: %v", err)
 	}
 }
