@@ -25,6 +25,20 @@
 // locks down. The sharing is safe without further locking because shared
 // shard words and start values are never written in place (writers copy
 // first), and all live-side bookkeeping happens under the table lock.
+//
+// # Generation refcounts for base storage
+//
+// Base partitions enjoy the same bound through the snapshot registry in
+// internal/storage: every partition slot carries a generation number
+// (bumped when a checkpoint publishes a replacement partition), and each
+// snapshot — explicit or query-internal — refcounts exactly the
+// generations it captured, releasing them on Close (query-internal
+// snapshots close themselves when their root operator is drained or
+// closed). A delete/modify checkpoint clones a partition only while a
+// live snapshot references its current generation; once the snapshots
+// close, checkpoints go back to mutating in place. Physical storage
+// reorganization (SortKey) refuses while any snapshot ref is live,
+// ephemeral ones included.
 package engine
 
 import (
@@ -78,12 +92,22 @@ func NewDatabase() *Database {
 
 // Table is a partitioned table plus its pending deltas and PatchIndexes.
 //
-// Snapshot generation tracking: handing out a view (Snapshot, View,
-// Views, Inputs, ScanAll, or a query entry point) marks the current
-// base/delta generations as shared and hands out Freeze copies of the
-// PatchIndexes. The first subsequent mutation of a shared base/delta
-// generation clones it and installs the clone as the new current
-// generation — the old objects stay frozen for the snapshot. Frozen
+// Snapshot generation tracking: capturing a snapshot (Snapshot, a query
+// entry point, ScanAll) retains one refcount on every partition's
+// current generation in the store's snapshot registry
+// (storage.Table.Retain) and hands out Freeze copies of the
+// PatchIndexes; closing the snapshot releases the refcounts exactly
+// once. A delete/modify checkpoint consults the registry and clones a
+// partition only while a live snapshot (or pinned raw view) references
+// its current generation; the clone is published as a new generation,
+// which starts unreferenced, so the next checkpoint mutates in place
+// again — base storage pays O(partitions touched by live snapshots),
+// never a sticky per-partition clone tax. The unclosable raw view
+// surfaces (View, Views, Inputs) pin their generations permanently
+// instead (storage.Table.Pin): their frozen views stay valid forever at
+// the cost of one clone per pinned generation. deltaShared seals the
+// positional deltas with a per-partition flag — a sealed delta
+// generation is copied before the next mutation. Frozen
 // PatchIndexes need no generation swap at all: their shard-granular
 // copy-on-write lets update handling mutate the live index directly,
 // copying only the shards it touches. Appends are exempt everywhere:
@@ -96,18 +120,9 @@ type Table struct {
 	store *storage.Table
 	delta []*pdt.Delta
 
-	// baseShared[p]: partition p's backing arrays are referenced by a
-	// live snapshot; delete/modify checkpoints must clone-and-swap.
-	baseShared []bool
 	// deltaShared[p]: delta[p] is sealed into a live snapshot; the next
 	// mutation copies it first.
 	deltaShared []bool
-	// openSnaps counts explicitly captured, not-yet-closed TableSnapshots
-	// (Table.Snapshot and Database.Snapshot). Physical storage
-	// reorganization (ExclusiveStorage, used by the SortKey comparator)
-	// refuses while any are open, because it rewrites the shared column
-	// arrays in place.
-	openSnaps int
 
 	// indexes[column] holds one PatchIndex per partition.
 	indexes map[string][]*core.Index
@@ -132,7 +147,6 @@ func (db *Database) CreateTable(name string, schema storage.Schema, partitions i
 		name:        name,
 		store:       st,
 		indexes:     make(map[string][]*core.Index),
-		baseShared:  make([]bool, partitions),
 		deltaShared: make([]bool, partitions),
 	}
 	t.delta = make([]*pdt.Delta, partitions)
@@ -184,10 +198,14 @@ func (t *Table) NumRows() int {
 }
 
 // View returns a snapshot read view of partition p, valid for use after
-// the call returns even while updates proceed on the table.
+// the call returns even while updates proceed on the table. The view is
+// unclosable, so it pins the partition's current base generation
+// permanently (one clone at the next delete/modify checkpoint, nothing
+// after the swap); prefer Snapshot for a releasable capture.
 func (t *Table) View(p int) *pdt.View {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.store.Pin(p)
 	return t.snapshotViewLocked(p)
 }
 
@@ -199,21 +217,22 @@ func (t *Table) viewLocked(p int) *pdt.View {
 	return pdt.NewView(t.store.Partition(p), t.delta[p])
 }
 
-// snapshotViewLocked returns a frozen read view of partition p and marks
-// the partition's base and delta generations as shared, forcing
-// copy-on-write on the next conflicting mutation.
+// snapshotViewLocked returns a frozen read view of partition p and
+// seals the partition's delta generation, forcing copy-on-write on the
+// next delta mutation. Base-generation accounting is the caller's job:
+// snapshot captures Retain the whole table, raw view hand-outs Pin the
+// partition.
 func (t *Table) snapshotViewLocked(p int) *pdt.View {
-	t.baseShared[p] = true
 	t.deltaShared[p] = true
 	return pdt.NewView(t.store.Partition(p).Freeze(), t.delta[p])
 }
 
 // ReadInt64Column returns a copy of one partition's int64 column
-// (including pending deltas) without marking any generation shared.
-// Read-modify-write drivers (like the TPC-H refresh stream) use it to
-// pick rows they are about to update: going through View would mark the
-// base generation shared and force the subsequent delete checkpoint to
-// clone the whole partition for a snapshot nobody keeps.
+// (including pending deltas) without retaining or pinning any
+// generation. Read-modify-write drivers (like the TPC-H refresh stream)
+// use it to pick rows they are about to update: going through View
+// would pin the base generation and force the subsequent delete
+// checkpoint to clone the whole partition for a view nobody keeps.
 func (t *Table) ReadInt64Column(partition int, column string) []int64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -224,12 +243,15 @@ func (t *Table) ReadInt64Column(partition int, column string) []int64 {
 }
 
 // Views returns snapshot read views of all partitions, capturing one
-// consistent table state.
+// consistent table state. Like View, the views are unclosable and pin
+// every partition's current base generation permanently; prefer
+// Snapshot for a releasable capture.
 func (t *Table) Views() []*pdt.View {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	out := make([]*pdt.View, t.store.NumPartitions())
 	for p := range out {
+		t.store.Pin(p)
 		out[p] = t.snapshotViewLocked(p)
 	}
 	return out
@@ -258,15 +280,17 @@ func (t *Table) mutableIndexesLocked(column string) []*core.Index {
 // underlying storage, for physical reorganizations (the SortKey
 // evaluation comparator) that rewrite the shared column arrays in place
 // and therefore cannot coexist with snapshot readers. It refuses while
-// explicitly captured snapshots (Table.Snapshot, Database.Snapshot) are
-// open; close them first. Query operators still draining an internal
-// per-query snapshot are not tracked and must be exhausted before
-// reorganizing, as before.
+// the snapshot registry holds any live ref on the table — explicitly
+// captured snapshots (Table.Snapshot, Database.Snapshot) and
+// query-internal ephemeral snapshots alike, so a reorder can no longer
+// win against a query that is still draining. Explicit snapshots
+// release their ref on Close; ephemeral ones when their root operator
+// is drained or closed.
 func (t *Table) ExclusiveStorage(fn func(*storage.Table) error) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if t.openSnaps > 0 {
-		return fmt.Errorf("engine: table %q has %d open snapshot(s); close them before physically reordering storage", t.name, t.openSnaps)
+	if n := t.store.LiveSnapshotRefs(); n > 0 {
+		return fmt.Errorf("engine: table %q has %d live snapshot ref(s) (explicit or in-flight query); close/drain them before physically reordering storage", t.name, n)
 	}
 	return fn(t.store)
 }
@@ -389,11 +413,16 @@ func (t *Table) PatchIndexes(column string) []*core.Index {
 
 // Inputs pairs each partition's snapshot view with its PatchIndex on
 // column for the planner. The returned inputs are one consistent
-// snapshot — the same capture the query entry points use — and stay
-// valid while updates proceed on the table.
+// capture and stay valid while updates proceed on the table; like
+// View/Views they are unclosable, so the captured base generations are
+// pinned permanently. Query entry points use releasable snapshots
+// instead.
 func (t *Table) Inputs(column string) []plan.PartitionInput {
 	t.mu.Lock()
 	s := t.snapshotColumnLocked(column)
+	for p := 0; p < t.store.NumPartitions(); p++ {
+		t.store.Pin(p)
+	}
 	t.mu.Unlock()
 	return s.Inputs(column)
 }
@@ -443,9 +472,12 @@ func (t *Table) Checkpoint() {
 //     Frozen snapshot views cap their own column headers, so appends
 //     beyond the frozen length are invisible to them.
 //   - A delta with deletes or modifies would compact or overwrite shared
-//     arrays; when a snapshot references the partition, the checkpoint
-//     instead applies the delta to a clone and publishes it atomically
-//     as the new partition generation.
+//     arrays; when the snapshot registry reports the partition's current
+//     generation referenced by a live snapshot or pinned view, the
+//     checkpoint instead applies the delta to a clone and publishes it
+//     atomically as the new partition generation (which starts
+//     unreferenced — once the snapshots close, later checkpoints mutate
+//     in place again).
 //   - A delta sealed into a snapshot is not reset but replaced, leaving
 //     the sealed generation frozen.
 func (t *Table) checkpointLocked() {
@@ -454,11 +486,10 @@ func (t *Table) checkpointLocked() {
 		if d.Empty() {
 			continue
 		}
-		if t.baseShared[p] && !d.InsertsOnly() {
+		if t.store.GenerationShared(p) && !d.InsertsOnly() {
 			next := t.store.Partition(p).Clone()
 			d.ApplyTo(next)
 			t.store.SetPartition(p, next)
-			t.baseShared[p] = false
 		} else {
 			d.ApplyTo(t.store.Partition(p))
 		}

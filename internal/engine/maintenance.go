@@ -14,7 +14,10 @@ import (
 // Table 1 for every index on the table, and finally checkpoints the
 // delta when AutoCheckpoint is set. Handling happens immediately after
 // the update, so the materialized constraint information never reaches
-// an inconsistent state.
+// an inconsistent state. Checkpoints consult the snapshot registry
+// (see checkpointLocked): a delete/modify checkpoint clones a partition
+// only while a live snapshot references its current generation, so the
+// update path owes nothing to queries that already finished.
 
 // changedRef identifies one inserted or modified tuple across the
 // partitioned table, together with its (new) value in the indexed

@@ -31,25 +31,37 @@ type QueryOptions struct {
 }
 
 // Distinct returns an operator computing DISTINCT(column). The operator
-// runs against a snapshot captured here: the table lock is released
-// before the call returns, and concurrent updates do not affect the
-// result.
+// runs against an ephemeral snapshot captured here: the table lock is
+// released before the call returns, and concurrent updates do not
+// affect the result. The snapshot's generation refcounts are released
+// automatically when the operator is drained or closed; until then the
+// snapshot gates checkpoint copy-on-write and physical reorders like an
+// explicitly held one.
 func (db *Database) Distinct(table, column string, opts QueryOptions) (exec.Operator, error) {
 	t := db.MustTable(table)
-	// Validate before capturing: a rejected query must not mark
-	// generations shared (sticky baseShared would force needless
-	// partition clones at the next checkpoint).
+	// Validate before capturing: a rejected query must not retain
+	// generation refs nobody would ever release.
 	if t.Schema().ColumnIndex(column) < 0 {
 		return nil, fmt.Errorf("engine: unknown column %q", column)
 	}
-	return t.snapshotColumn(column).Distinct(column, opts)
+	s := t.snapshotColumn(column)
+	op, err := s.Distinct(column, opts)
+	if err != nil {
+		s.Close()
+		return nil, err
+	}
+	return exec.OnClose(op, s.Close), nil
 }
 
-// snapshotColumn captures a snapshot carrying only column's PatchIndex.
+// snapshotColumn captures an ephemeral query snapshot carrying only
+// column's PatchIndex, registered in the snapshot registry; the query
+// entry points release it at query end via exec.OnClose.
 func (t *Table) snapshotColumn(column string) *TableSnapshot {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.snapshotColumnLocked(column)
+	s := t.snapshotColumnLocked(column)
+	s.ref = t.store.Retain()
+	return s
 }
 
 // Distinct returns an operator computing DISTINCT(column) over the
@@ -80,14 +92,20 @@ func (s *TableSnapshot) Distinct(column string, opts QueryOptions) (exec.Operato
 }
 
 // SortQuery returns an operator producing column fully sorted. Like
-// Distinct, it executes against a snapshot captured at call time (and
-// validates the column before capturing, for the same reason).
+// Distinct, it executes against an ephemeral snapshot captured at call
+// time (validated before capturing, released at query end).
 func (db *Database) SortQuery(table, column string, desc bool, opts QueryOptions) (exec.Operator, error) {
 	t := db.MustTable(table)
 	if t.Schema().ColumnIndex(column) < 0 {
 		return nil, fmt.Errorf("engine: unknown column %q", column)
 	}
-	return t.snapshotColumn(column).SortQuery(column, desc, opts)
+	s := t.snapshotColumn(column)
+	op, err := s.SortQuery(column, desc, opts)
+	if err != nil {
+		s.Close()
+		return nil, err
+	}
+	return exec.OnClose(op, s.Close), nil
 }
 
 // SortQuery returns an operator producing column fully sorted over the
@@ -118,13 +136,20 @@ func (s *TableSnapshot) SortQuery(column string, desc bool, opts QueryOptions) (
 }
 
 // ScanAll returns an operator scanning the given columns of every
-// partition (unioned), against a snapshot captured at call time. Scans
-// never consult PatchIndexes, so only the storage views are captured.
+// partition (unioned), against an ephemeral snapshot captured at call
+// time and released when the operator is drained or closed. Scans never
+// consult PatchIndexes, so only the storage views are captured. Unknown
+// columns panic — before the capture, so the aborted call retains no
+// generation refs nobody would ever release.
 func (t *Table) ScanAll(columns ...string) exec.Operator {
+	for _, c := range columns {
+		t.Schema().MustColumnIndex(c)
+	}
 	t.mu.Lock()
 	s := t.snapshotViewsLocked()
+	s.ref = t.store.Retain()
 	t.mu.Unlock()
-	return s.ScanAll(columns...)
+	return exec.OnClose(s.ScanAll(columns...), s.Close)
 }
 
 // CollectInt64 drains a single-column BIGINT operator into a slice.

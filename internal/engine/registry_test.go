@@ -1,0 +1,219 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"patchindex/internal/storage"
+)
+
+// reorderable reports whether the table currently admits a physical
+// storage reorganization.
+func reorderable(tb *Table) bool {
+	return tb.ExclusiveStorage(func(*storage.Table) error { return nil }) == nil
+}
+
+// TestCheckpointClonesOnlyWhileSnapshotLive is the registry's core
+// contract: a delete checkpoint clones a partition iff a live snapshot
+// references its current generation. After the snapshot closes, the
+// next delete checkpoint mutates in place again — with the old sticky
+// bookkeeping, one snapshot ever meant clones forever.
+func TestCheckpointClonesOnlyWhileSnapshotLive(t *testing.T) {
+	db := newDB(t)
+	tb := singleColTable(t, db, "t", seq(100), 1)
+	st := tb.Store()
+
+	snap := tb.Snapshot()
+	before := st.Partition(0)
+	if err := db.DeleteRowIDs("t", 0, []uint64{0}); err != nil {
+		t.Fatal(err)
+	}
+	if st.Partition(0) == before {
+		t.Fatal("delete checkpoint mutated a snapshot-referenced generation in place")
+	}
+	if got := snap.NumRows(); got != 100 {
+		t.Fatalf("snapshot rows after clone-swap = %d, want 100", got)
+	}
+	snap.Close()
+
+	// The cloned generation is unreferenced: deletes now apply in place.
+	// (They compact the CLONE's arrays; the snapshot's frozen generation
+	// was retired by the swap, so even this closed snapshot stays
+	// untouched — in general, Close ends a snapshot's read validity.)
+	current := st.Partition(0)
+	if err := db.DeleteRowIDs("t", 0, []uint64{0}); err != nil {
+		t.Fatal(err)
+	}
+	if st.Partition(0) != current {
+		t.Fatal("delete checkpoint cloned although no snapshot references the generation")
+	}
+	if got := snap.NumRows(); got != 100 {
+		t.Fatalf("retired generation mutated: snapshot sees %d rows, want 100", got)
+	}
+}
+
+// TestDeleteCheckpointInPlaceAfterQueryStream: drained queries leave no
+// generation refs behind, so a steady query-then-delete workload pays
+// zero partition clones — the regression the sticky bookkeeping caused.
+func TestDeleteCheckpointInPlaceAfterQueryStream(t *testing.T) {
+	db := newDB(t)
+	tb := singleColTable(t, db, "t", seq(200), 2)
+	st := tb.Store()
+	for i := 0; i < 5; i++ {
+		op, err := db.Distinct("t", "v", QueryOptions{Mode: PlanReference})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := CollectInt64(op); err != nil {
+			t.Fatal(err)
+		}
+		p0, p1 := st.Partition(0), st.Partition(1)
+		if _, err := db.DeleteWhereInt64("t", "v", func(v int64) bool { return v == int64(i) }); err != nil {
+			t.Fatal(err)
+		}
+		if st.Partition(0) != p0 || st.Partition(1) != p1 {
+			t.Fatalf("round %d: delete checkpoint cloned after the query stream drained", i)
+		}
+	}
+}
+
+// TestEphemeralQuerySnapshotGatesReorder: a query-internal snapshot
+// must hold the physical-reorder guard for exactly the query's
+// lifetime — from the entry point returning an operator until that
+// operator is drained or closed.
+func TestEphemeralQuerySnapshotGatesReorder(t *testing.T) {
+	db := newDB(t)
+	tb := singleColTable(t, db, "t", seq(50), 2)
+
+	op, err := db.SortQuery("t", "v", false, QueryOptions{Mode: PlanReference})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reorderable(tb) {
+		t.Fatal("reorder allowed while a query is in flight")
+	}
+	if _, err := CollectInt64(op); err != nil {
+		t.Fatal(err)
+	}
+	if !reorderable(tb) {
+		t.Fatal("drained query still holds the reorder guard")
+	}
+
+	// Close without draining releases too.
+	op, err = db.Distinct("t", "v", QueryOptions{Mode: PlanReference})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reorderable(tb) {
+		t.Fatal("reorder allowed while an undrained query is live")
+	}
+	op.Close()
+	if !reorderable(tb) {
+		t.Fatal("closed query still holds the reorder guard")
+	}
+
+	// ScanAll is a query entry point like the others.
+	scan := tb.ScanAll("v")
+	if reorderable(tb) {
+		t.Fatal("reorder allowed while a scan is in flight")
+	}
+	if _, err := CollectInt64(scan); err != nil {
+		t.Fatal(err)
+	}
+	if !reorderable(tb) {
+		t.Fatal("drained scan still holds the reorder guard")
+	}
+
+	// A rejected query must not leak a ref.
+	if _, err := db.Distinct("t", "v", QueryOptions{Mode: PlanPatchIndex}); err == nil {
+		t.Fatal("PlanPatchIndex without an index accepted")
+	}
+	if !reorderable(tb) {
+		t.Fatal("rejected query leaked a snapshot ref")
+	}
+
+	// Neither must a ScanAll that panics on an unknown column (it
+	// validates before capturing).
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("ScanAll accepted an unknown column")
+			}
+		}()
+		tb.ScanAll("missing")
+	}()
+	if !reorderable(tb) {
+		t.Fatal("panicked ScanAll leaked a snapshot ref")
+	}
+}
+
+// TestSnapshotCloseReleasesExactlyOnce: double Close (or Close after
+// the auto-release at drain) must not drop refcounts another snapshot
+// still relies on.
+func TestSnapshotCloseReleasesExactlyOnce(t *testing.T) {
+	db := newDB(t)
+	tb := singleColTable(t, db, "t", seq(40), 1)
+
+	s1 := tb.Snapshot()
+	s2 := tb.Snapshot()
+	s1.Close()
+	s1.Close()
+	if reorderable(tb) {
+		t.Fatal("double Close released another snapshot's ref")
+	}
+	st := tb.Store()
+	before := st.Partition(0)
+	if err := db.DeleteRowIDs("t", 0, []uint64{0}); err != nil {
+		t.Fatal(err)
+	}
+	if st.Partition(0) == before {
+		t.Fatal("checkpoint ignored the still-open snapshot after a double Close")
+	}
+	s2.Close()
+	if !reorderable(tb) {
+		t.Fatal("table wedged after all snapshots closed")
+	}
+}
+
+// TestSnapshotTableError: the snapshot API returns errors for unknown
+// tables instead of panicking.
+func TestSnapshotTableError(t *testing.T) {
+	db := newDB(t)
+	singleColTable(t, db, "t", seq(10), 1)
+
+	snap, err := db.SnapshotTable("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.NumRows(); got != 10 {
+		t.Fatalf("snapshot rows = %d, want 10", got)
+	}
+	snap.Close()
+
+	if _, err := db.SnapshotTable("missing"); err == nil {
+		t.Fatal("SnapshotTable accepted an unknown table")
+	}
+}
+
+// TestPinnedViewsStayValidWithoutWedgingReorder: the unclosable view
+// surfaces keep their forever-valid contract (checkpoints clone pinned
+// generations) but never block physical reorganization — pins are not
+// snapshot refs.
+func TestPinnedViewsStayValidWithoutWedgingReorder(t *testing.T) {
+	db := newDB(t)
+	tb := singleColTable(t, db, "t", seq(30), 1)
+
+	view := tb.View(0)
+	if !reorderable(tb) {
+		t.Fatal("a raw view must not hold the reorder guard")
+	}
+	if err := db.DeleteRowIDs("t", 0, []uint64{0}); err != nil {
+		t.Fatal(err)
+	}
+	if got := view.NumRows(); got != 30 {
+		t.Fatalf("pinned view rows after delete = %d, want 30", got)
+	}
+	if fmt.Sprint(sortedCopy(view.MaterializeInt64(0))) != fmt.Sprint(seq(30)) {
+		t.Fatal("pinned view data changed under a delete checkpoint")
+	}
+}

@@ -21,36 +21,56 @@ import (
 // paper's host system provides (Section 5.4): a query plans and executes
 // entirely against the snapshot, without holding the table lock, while
 // update queries proceed on copy-on-write structures. A snapshot stays
-// valid indefinitely; holding one only costs the update path a copy of
-// each bitmap shard (and each delta/partition generation) it actually
-// touches.
+// valid until it is Closed, and holding one costs the update path a
+// copy of each bitmap shard, delta generation, and base-partition
+// generation it actually touches — and nothing once it stops touching
+// them.
+//
+// The capture registers one refcount on every partition's current base
+// generation in the store's snapshot registry (storage.Table.Retain).
+// Close releases the refcounts exactly once (Close is idempotent, and
+// query-internal ephemeral snapshots close themselves when their root
+// operator is drained or closed). While the ref is live, a
+// delete/modify checkpoint of a referenced partition generation clones
+// it and publishes the clone as a new generation instead of compacting
+// the shared arrays, and physical reorganization
+// (Table.ExclusiveStorage, the SortKey comparator) refuses outright.
+// Close is a promise to stop reading: afterwards the update path owes
+// the snapshot nothing — the next checkpoint of each partition may
+// compact the shared arrays in place, so the snapshot's views must not
+// be read after Close.
 type TableSnapshot struct {
 	name    string
 	schema  storage.Schema
 	views   []*pdt.View
 	indexes map[string][]*core.Index
 
-	// owner/closed track explicitly captured snapshots for the physical
-	// reorganization guard (Table.ExclusiveStorage); both are guarded by
-	// owner.mu. Query-internal snapshots leave owner nil.
-	owner  *Table
-	closed bool
+	// ref is this snapshot's hold on the store's snapshot registry:
+	// one refcount per captured partition generation, released exactly
+	// once by Close. Unclosable captures (Table.Inputs) leave it nil and
+	// pin their generations instead.
+	ref *storage.TableRef
 }
 
 // Snapshot captures an immutable view of the table's current state. The
 // table lock is held only for the capture itself — O(partitions + index
-// shards) bookkeeping, no data copying. Close the snapshot when done if
-// the table may later be physically reorganized (SortKey).
+// shards) bookkeeping, no data copying. Close the snapshot when done:
+// until then the update path clones any partition it would mutate in
+// place, and physical reorganization (SortKey) refuses.
 func (t *Table) Snapshot() *TableSnapshot {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.snapshotLocked()
 }
 
-// SnapshotTable captures a snapshot of the named table, or panics when
-// the table does not exist.
-func (db *Database) SnapshotTable(name string) *TableSnapshot {
-	return db.MustTable(name).Snapshot()
+// SnapshotTable captures a snapshot of the named table; it returns an
+// error when the table does not exist.
+func (db *Database) SnapshotTable(name string) (*TableSnapshot, error) {
+	t := db.Table(name)
+	if t == nil {
+		return nil, fmt.Errorf("engine: unknown table %q", name)
+	}
+	return t.Snapshot(), nil
 }
 
 // freezeIndexes returns Freeze copies of one index generation, or nil.
@@ -70,31 +90,26 @@ func (t *Table) snapshotLocked() *TableSnapshot {
 	for column, idx := range t.indexes {
 		s.indexes[column] = freezeIndexes(idx)
 	}
-	s.owner = t
-	t.openSnaps++
+	s.ref = t.store.Retain()
 	return s
 }
 
-// Close marks an explicitly captured snapshot as no longer live,
-// re-enabling physical storage reorganization (ExclusiveStorage) once
-// every open snapshot of the table is closed. Closing is optional
-// otherwise — a snapshot's data stays valid forever — and idempotent.
-func (s *TableSnapshot) Close() {
-	if s.owner == nil {
-		return
-	}
-	s.owner.mu.Lock()
-	defer s.owner.mu.Unlock()
-	if !s.closed {
-		s.closed = true
-		s.owner.openSnaps--
-	}
-}
+// Close releases the snapshot's generation refcounts, letting
+// subsequent checkpoints of the captured partitions mutate in place
+// again and — once every snapshot of the table is closed — re-enabling
+// physical storage reorganization (ExclusiveStorage). Close is
+// idempotent: the refcounts are released exactly once no matter how
+// often it is called. Closing ends the snapshot's read validity: a
+// later in-place checkpoint or reorder may rewrite the arrays its
+// frozen views share, so finish reading before Close.
+func (s *TableSnapshot) Close() { s.ref.Release() }
 
 // snapshotColumnLocked captures a snapshot carrying only the PatchIndex
-// generation of the named column. Single-column query entry points use
-// it so an update racing a Distinct("a") does not pay the freeze
-// bookkeeping of unrelated columns' indexes.
+// generation of the named column, without registering it in the
+// snapshot registry — the caller decides between Retain (closable query
+// snapshots) and Pin (unclosable Inputs). Single-column query entry
+// points use it so an update racing a Distinct("a") does not pay the
+// freeze bookkeeping of unrelated columns' indexes.
 func (t *Table) snapshotColumnLocked(column string) *TableSnapshot {
 	s := t.snapshotViewsLocked()
 	if idx := t.indexes[column]; idx != nil {

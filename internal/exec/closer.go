@@ -1,0 +1,41 @@
+package exec
+
+import "patchindex/internal/storage"
+
+// OnClose wraps the root of an operator tree so fn runs exactly once
+// when the query ends: at end of stream, on the first error from Next,
+// or on Close — whichever comes first. The engine uses it to release a
+// query-internal snapshot's generation refcounts the moment the query
+// is done with them, without the caller having to know a snapshot was
+// ever captured.
+func OnClose(op Operator, fn func()) Operator {
+	return &onClose{child: op, fn: fn}
+}
+
+type onClose struct {
+	child Operator
+	fn    func()
+	fired bool
+}
+
+func (o *onClose) Schema() storage.Schema { return o.child.Schema() }
+
+func (o *onClose) fire() {
+	if !o.fired {
+		o.fired = true
+		o.fn()
+	}
+}
+
+func (o *onClose) Next() (*Batch, error) {
+	b, err := o.child.Next()
+	if b == nil || err != nil {
+		o.fire()
+	}
+	return b, err
+}
+
+func (o *onClose) Close() {
+	o.child.Close()
+	o.fire()
+}

@@ -1,0 +1,60 @@
+package exec
+
+import (
+	"errors"
+	"testing"
+
+	"patchindex/internal/storage"
+)
+
+func onCloseSource() Operator {
+	schema := storage.Schema{{Name: "v", Kind: storage.KindInt64}}
+	return NewVecSource(schema, []Vec{{Kind: storage.KindInt64, I64: []int64{1, 2, 3}}}, nil)
+}
+
+// TestOnCloseFiresOnceAtEOS: the hook fires exactly once, at end of
+// stream, even when Close follows (as exec.Drain always does).
+func TestOnCloseFiresOnceAtEOS(t *testing.T) {
+	fired := 0
+	op := OnClose(onCloseSource(), func() { fired++ })
+	if got := len(op.Schema()); got != 1 {
+		t.Fatalf("schema width = %d, want 1", got)
+	}
+	if _, err := Drain(op); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("hook fired %d times, want 1", fired)
+	}
+}
+
+// TestOnCloseFiresOnEarlyClose: closing an undrained operator fires the
+// hook (the abandoning caller still releases the snapshot).
+func TestOnCloseFiresOnEarlyClose(t *testing.T) {
+	fired := 0
+	op := OnClose(onCloseSource(), func() { fired++ })
+	if _, err := op.Next(); err != nil {
+		t.Fatal(err)
+	}
+	op.Close()
+	op.Close()
+	if fired != 1 {
+		t.Fatalf("hook fired %d times, want 1", fired)
+	}
+}
+
+type erroringOp struct{ Operator }
+
+func (e *erroringOp) Next() (*Batch, error) { return nil, errors.New("boom") }
+
+// TestOnCloseFiresOnError: the first error from Next releases too.
+func TestOnCloseFiresOnError(t *testing.T) {
+	fired := 0
+	op := OnClose(&erroringOp{onCloseSource()}, func() { fired++ })
+	if _, err := op.Next(); err == nil {
+		t.Fatal("expected error")
+	}
+	if fired != 1 {
+		t.Fatalf("hook fired %d times after error, want 1", fired)
+	}
+}

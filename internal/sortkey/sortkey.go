@@ -8,9 +8,14 @@
 // The physical reorder rewrites the shared column arrays in place, which
 // would silently corrupt any live engine snapshot referencing them.
 // CreateEngine and RebuildChecked therefore go through the engine's
-// ExclusiveStorage guard and refuse to run while explicitly captured
-// snapshots are open; the raw Create entry point remains for
-// storage-level experiment code that owns its table outright.
+// ExclusiveStorage guard and refuse to run while snapshot refs —
+// explicitly captured or query-internal ephemeral — are live. The raw
+// Create entry point remains for storage-level experiment code that
+// owns its table outright, but it no longer bypasses the registry: the
+// reorder runs inside storage.Table.Exclusive — refusing (with a panic)
+// while any snapshot ref is live, and blocking new refs for its
+// duration — rather than reorder a table some snapshot still
+// references.
 package sortkey
 
 import (
@@ -35,14 +40,35 @@ type SortKey struct {
 	guard func(func(*storage.Table) error) error
 }
 
-// Create physically sorts every partition of table by col. It bypasses
-// any snapshot tracking — the caller must own the table exclusively. For
-// tables managed by the engine, use CreateEngine instead.
+// Create physically sorts every partition of table by col. The caller
+// must own the table exclusively; as a backstop, Create runs the
+// reorder inside the table's registry-exclusive section
+// (storage.Table.Exclusive) and panics when any snapshot ref is live —
+// an engine snapshot or an in-flight query would be silently corrupted
+// by the in-place reorder, and no new ref can be retained while the
+// reorder runs. For tables managed by the engine, use CreateEngine,
+// which refuses with an error instead.
 func Create(table *storage.Table, col int, desc bool) *SortKey {
 	s := &SortKey{table: table, col: col, desc: desc}
-	s.rebuild()
+	if err := s.rebuildExclusive(); err != nil {
+		panic(err)
+	}
 	s.Rebuilds = 0
 	return s
+}
+
+// rebuildExclusive enforces the snapshot registry on the raw
+// storage-level path: the liveness check and the reorder run atomically
+// under the registry lock, so a query capturing concurrently either
+// blocks until the reorder finishes or makes the reorder refuse.
+// (Guarded SortKeys go through engine.Table.ExclusiveStorage instead,
+// which performs the check under the engine's table lock — the lock all
+// engine captures take.)
+func (s *SortKey) rebuildExclusive() error {
+	return s.table.Exclusive(func() error {
+		s.rebuild()
+		return nil
+	})
 }
 
 // CreateEngine physically sorts an engine table's partitions by the
@@ -77,9 +103,9 @@ func (s *SortKey) rebuild() {
 }
 
 // Rebuild re-sorts the table — the per-update maintenance cost of the
-// SortKey approach. Engine-guarded SortKeys (CreateEngine) panic when
-// the rebuild is refused because snapshots are open; use RebuildChecked
-// to handle the refusal gracefully.
+// SortKey approach. It panics when the rebuild is refused because
+// snapshot refs are live; use RebuildChecked to handle the refusal
+// gracefully.
 func (s *SortKey) Rebuild() {
 	if err := s.RebuildChecked(); err != nil {
 		panic(err)
@@ -87,12 +113,12 @@ func (s *SortKey) Rebuild() {
 }
 
 // RebuildChecked re-sorts the table through the snapshot guard when one
-// is attached, returning the guard's refusal instead of reordering
-// storage out from under live snapshots.
+// is attached — and through the storage-level registry check when not —
+// returning the refusal instead of reordering storage out from under
+// live snapshots or in-flight queries.
 func (s *SortKey) RebuildChecked() error {
 	if s.guard == nil {
-		s.rebuild()
-		return nil
+		return s.rebuildExclusive()
 	}
 	return s.guard(func(*storage.Table) error {
 		s.rebuild()

@@ -2,6 +2,7 @@ package sortkey
 
 import (
 	"math/rand"
+	"runtime"
 	"sort"
 	"testing"
 
@@ -166,5 +167,123 @@ func TestCreateEngineUnknownColumn(t *testing.T) {
 	_, tb := engineTable(t, []int64{1})
 	if _, err := CreateEngine(tb, "missing", false); err == nil {
 		t.Fatal("unknown column accepted")
+	}
+}
+
+// TestRawCreateRefusesLiveSnapshotRefs: the storage-level Create used
+// to bypass the engine guard entirely; it now consults the snapshot
+// registry and panics rather than physically reorder arrays a live
+// snapshot still references.
+func TestRawCreateRefusesLiveSnapshotRefs(t *testing.T) {
+	_, tb := engineTable(t, []int64{3, 1, 2})
+	snap := tb.Snapshot()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("raw Create ran with a live snapshot ref")
+			}
+		}()
+		Create(tb.Store(), 0, false)
+	}()
+	// The refused create must not have reordered anything.
+	if got := tb.Store().Partition(0).Column(0).Int64s(); got[0] != 3 {
+		t.Fatalf("refused raw create still reordered storage: %v", got)
+	}
+
+	// A raw SortKey's unguarded rebuild path refuses too (with an error
+	// via RebuildChecked, with a panic via Rebuild).
+	snap.Close()
+	sk := Create(tb.Store(), 0, false)
+	snap2 := tb.Snapshot()
+	if err := sk.RebuildChecked(); err == nil {
+		t.Fatal("raw RebuildChecked ran with a live snapshot ref")
+	}
+	snap2.Close()
+	if err := sk.RebuildChecked(); err != nil {
+		t.Fatalf("raw RebuildChecked after Close: %v", err)
+	}
+}
+
+// TestEphemeralQueryGatesRawCreate: query-internal snapshots count as
+// live refs for the raw path as well — an in-flight engine query must
+// block a storage-level Create until it drains.
+func TestEphemeralQueryGatesRawCreate(t *testing.T) {
+	db, tb := engineTable(t, []int64{5, 4, 3, 2, 1, 0})
+	op, err := db.SortQuery("t", "v", false, engine.QueryOptions{Mode: engine.PlanReference})
+	if err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("raw Create ran while a query was in flight")
+			}
+		}()
+		Create(tb.Store(), 0, false)
+	}()
+	if _, err := engine.CollectInt64(op); err != nil {
+		t.Fatal(err)
+	}
+	Create(tb.Store(), 0, false) // drained: allowed again
+}
+
+// TestSortQueryVsRebuildRace is the regression test for the unguarded
+// reorder hole: SortQuery's query-internal ephemeral snapshot was
+// invisible to the reorder guard, so RebuildChecked could physically
+// permute a partition out from under a running query — a data race on
+// the shared column arrays and garbage results. With the snapshot
+// registry, the rebuild refuses while any query is draining; run with
+// -race to pin the absence of the race.
+func TestSortQueryVsRebuildRace(t *testing.T) {
+	// Two real threads: on a single-P runtime the reorganizer would only
+	// interleave with a draining query at coarse preemption points,
+	// which can miss the conflicting accesses entirely.
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	// Big enough that a query spends real time reading the shared
+	// column arrays (the sort plan materializes its input on the first
+	// Next), so an unguarded concurrent reorder reliably overlaps it.
+	const n = 1 << 16
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64((i * 2654435761) % n) // fixed pseudo-random permutation
+	}
+	db, tb := engineTable(t, vals)
+	sk, err := CreateEngine(tb, "v", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	go func() { // physical reorganizer: retries, accepting refusals
+		defer close(done)
+		for i := 0; i < 20; i++ {
+			_ = sk.RebuildChecked()
+		}
+	}()
+	for { // query stream
+		op, err := db.SortQuery("t", "v", false, engine.QueryOptions{Mode: engine.PlanReference})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := engine.CollectInt64(op)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The value set never changes, so every snapshot-isolated sort
+		// must return the identity permutation regardless of how often
+		// the physical order changed underneath.
+		if len(got) != n {
+			t.Fatalf("sort query returned %d rows, want %d", len(got), n)
+		}
+		for i, v := range got {
+			if v != int64(i) {
+				t.Fatalf("sort result corrupted at %d: got %d", i, v)
+			}
+		}
+		select {
+		case <-done:
+			return
+		default:
+		}
 	}
 }

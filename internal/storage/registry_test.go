@@ -1,0 +1,88 @@
+package storage
+
+import "testing"
+
+func registryTable(parts int) *Table {
+	schema := Schema{{Name: "v", Kind: KindInt64}}
+	t := NewTable("t", schema, parts)
+	rows := make([]Row, 4*parts)
+	for i := range rows {
+		rows[i] = Row{I64(int64(i))}
+	}
+	t.LoadRows(rows)
+	return t
+}
+
+// TestRegistryRetainRelease: a retained ref marks exactly the captured
+// generations shared and counts as one live snapshot; releasing drops
+// both, and Release is idempotent (refcounts released exactly once).
+func TestRegistryRetainRelease(t *testing.T) {
+	tb := registryTable(2)
+	if tb.GenerationShared(0) || tb.LiveSnapshotRefs() != 0 {
+		t.Fatal("fresh table should have no shared generations or live refs")
+	}
+	r1 := tb.Retain()
+	r2 := tb.Retain()
+	if !tb.GenerationShared(0) || !tb.GenerationShared(1) {
+		t.Fatal("retained generations not reported shared")
+	}
+	if got := tb.LiveSnapshotRefs(); got != 2 {
+		t.Fatalf("LiveSnapshotRefs = %d, want 2", got)
+	}
+	r1.Release()
+	r1.Release() // idempotent: must not drop r2's refcount
+	if !tb.GenerationShared(0) {
+		t.Fatal("double release dropped another ref's refcount")
+	}
+	if got := tb.LiveSnapshotRefs(); got != 1 {
+		t.Fatalf("LiveSnapshotRefs after double release = %d, want 1", got)
+	}
+	r2.Release()
+	if tb.GenerationShared(0) || tb.LiveSnapshotRefs() != 0 {
+		t.Fatal("released table still reports shared generations or live refs")
+	}
+	var nilRef *TableRef
+	nilRef.Release() // safe no-op
+}
+
+// TestRegistrySetPartitionBumpsGeneration: publishing a replacement
+// partition starts a fresh, unreferenced generation — refs held on the
+// old generation no longer mark the slot shared, so the next
+// delete/modify of the new arrays may run in place.
+func TestRegistrySetPartitionBumpsGeneration(t *testing.T) {
+	tb := registryTable(2)
+	ref := tb.Retain()
+	g0 := tb.Generation(0)
+	tb.SetPartition(0, tb.Partition(0).Clone())
+	if tb.Generation(0) != g0+1 {
+		t.Fatalf("Generation(0) = %d after SetPartition, want %d", tb.Generation(0), g0+1)
+	}
+	if tb.GenerationShared(0) {
+		t.Fatal("fresh generation inherited the old generation's refs")
+	}
+	if !tb.GenerationShared(1) {
+		t.Fatal("untouched partition lost its ref")
+	}
+	if tb.LiveSnapshotRefs() != 1 {
+		t.Fatal("SetPartition changed the live snapshot count")
+	}
+	ref.Release()
+}
+
+// TestRegistryPin: a pin marks the current generation permanently
+// shared without raising the live-snapshot count (pins must not block
+// physical reorganization), and dies with its generation.
+func TestRegistryPin(t *testing.T) {
+	tb := registryTable(1)
+	tb.Pin(0)
+	if !tb.GenerationShared(0) {
+		t.Fatal("pinned generation not shared")
+	}
+	if tb.LiveSnapshotRefs() != 0 {
+		t.Fatal("pin counted as a live snapshot ref")
+	}
+	tb.SetPartition(0, tb.Partition(0).Clone())
+	if tb.GenerationShared(0) {
+		t.Fatal("pin survived a generation swap")
+	}
+}

@@ -129,10 +129,27 @@ func (p *Partition) Freeze() *Partition {
 }
 
 // Table is a named, horizontally partitioned collection of columns.
+//
+// Every partition slot carries a generation number, bumped each time
+// SetPartition publishes a replacement partition object. The snapshot
+// registry (Retain/Pin) refcounts exactly the generations a snapshot
+// captured, so writers can ask two cheap questions: "does any live
+// snapshot reference partition p's current backing arrays?"
+// (GenerationShared — decides clone-and-swap vs in-place mutation) and
+// "is any closable snapshot of this table still live?"
+// (LiveSnapshotRefs — gates in-place physical reorganization).
 type Table struct {
 	Name   string
 	schema Schema
 	parts  []*Partition
+
+	// Snapshot registry. regMu is independent of any engine-level table
+	// lock: snapshot holders release their refs from reader goroutines
+	// without contending on the writer's lock.
+	regMu    sync.Mutex
+	gens     []uint64         // current generation per partition slot
+	refs     []map[uint64]int // per partition: generation -> refcount
+	liveRefs int              // unreleased TableRefs (Retain minus Release)
 }
 
 // NewTable returns a table with numPartitions empty partitions.
@@ -144,6 +161,8 @@ func NewTable(name string, schema Schema, numPartitions int) *Table {
 	for i := 0; i < numPartitions; i++ {
 		t.parts = append(t.parts, NewPartition(schema))
 	}
+	t.gens = make([]uint64, numPartitions)
+	t.refs = make([]map[uint64]int, numPartitions)
 	return t
 }
 
@@ -158,13 +177,125 @@ func (t *Table) Partition(i int) *Partition { return t.parts[i] }
 
 // SetPartition atomically publishes a new generation of partition i.
 // The old partition object is left untouched, so snapshot views that
-// froze it remain valid. Callers must serialize SetPartition with other
-// table mutations (the engine holds the table lock).
+// froze it remain valid; its generation number stays referenced in the
+// registry until the last snapshot holding it releases. Callers must
+// serialize SetPartition with other table mutations (the engine holds
+// the table lock).
 func (t *Table) SetPartition(i int, p *Partition) {
 	if len(p.schema) != len(t.schema) {
 		panic(fmt.Sprintf("storage: SetPartition schema mismatch on table %q", t.Name))
 	}
 	t.parts[i] = p
+	t.regMu.Lock()
+	t.gens[i]++
+	t.regMu.Unlock()
+}
+
+// Generation returns partition i's current generation number.
+func (t *Table) Generation(i int) uint64 {
+	t.regMu.Lock()
+	defer t.regMu.Unlock()
+	return t.gens[i]
+}
+
+// TableRef is one snapshot's hold on the table: one refcount on the
+// exact generation of every partition at Retain time. Release drops the
+// refcounts; it is idempotent, so the "released exactly once" invariant
+// holds even when a query-end hook and an explicit Close both fire.
+type TableRef struct {
+	t        *Table
+	gens     []uint64
+	released bool
+}
+
+// Retain registers a snapshot: the current generation of every
+// partition gets one refcount, and the table's live-snapshot count
+// rises until the returned ref is released. Callers must serialize
+// Retain with SetPartition (the engine captures under the table lock).
+func (t *Table) Retain() *TableRef {
+	t.regMu.Lock()
+	defer t.regMu.Unlock()
+	gens := append([]uint64(nil), t.gens...)
+	for p, g := range gens {
+		if t.refs[p] == nil {
+			t.refs[p] = make(map[uint64]int, 1)
+		}
+		t.refs[p][g]++
+	}
+	t.liveRefs++
+	return &TableRef{t: t, gens: gens}
+}
+
+// Release drops the ref's generation refcounts (idempotent, safe on a
+// nil ref). It takes only the registry mutex, never an engine lock.
+func (r *TableRef) Release() {
+	if r == nil {
+		return
+	}
+	t := r.t
+	t.regMu.Lock()
+	defer t.regMu.Unlock()
+	if r.released {
+		return
+	}
+	r.released = true
+	for p, g := range r.gens {
+		if n := t.refs[p][g]; n <= 1 {
+			delete(t.refs[p], g)
+		} else {
+			t.refs[p][g] = n - 1
+		}
+	}
+	t.liveRefs--
+}
+
+// Pin permanently refcounts partition i's current generation without
+// raising the live-snapshot count. It backs the engine's unclosable
+// read surfaces (View/Views/Inputs): their frozen views must stay valid
+// forever, so the generation they share can never be mutated in place —
+// but they never gated physical reorganization and still don't. After
+// the next SetPartition the pin refers to a retired generation and
+// costs nothing further.
+func (t *Table) Pin(i int) {
+	t.regMu.Lock()
+	defer t.regMu.Unlock()
+	if t.refs[i] == nil {
+		t.refs[i] = make(map[uint64]int, 1)
+	}
+	t.refs[i][t.gens[i]]++
+}
+
+// GenerationShared reports whether partition i's current generation is
+// referenced by any live snapshot or pin — iff so, an in-place
+// delete/modify of its backing arrays must clone-and-swap instead.
+func (t *Table) GenerationShared(i int) bool {
+	t.regMu.Lock()
+	defer t.regMu.Unlock()
+	return t.refs[i][t.gens[i]] > 0
+}
+
+// LiveSnapshotRefs returns the number of retained, not-yet-released
+// snapshot refs. Physical in-place reorganization must refuse while it
+// is non-zero; use Exclusive to make the check atomic with the work.
+func (t *Table) LiveSnapshotRefs() int {
+	t.regMu.Lock()
+	defer t.regMu.Unlock()
+	return t.liveRefs
+}
+
+// Exclusive runs fn only if no snapshot ref is live, holding the
+// registry lock throughout so no new ref can be retained mid-fn — the
+// storage-level equivalent of the engine's ExclusiveStorage guard, for
+// raw in-place reorganization (sortkey.Create on a table the caller
+// owns). A concurrent Retain blocks until fn returns and then captures
+// the reorganized state; fn must not touch the registry itself.
+func (t *Table) Exclusive(fn func() error) error {
+	t.regMu.Lock()
+	defer t.regMu.Unlock()
+	if t.liveRefs > 0 {
+		return fmt.Errorf("storage: table %q has %d live snapshot ref(s); close/drain them before in-place reorganization", t.Name, t.liveRefs)
+	}
+	return fn()
 }
 
 // NumRows returns the total row count across partitions.

@@ -24,9 +24,14 @@ var goldenConfigs = []struct {
 	{"e5", 0.05},
 }
 
-func goldenDataset(t *testing.T, e float64) *Dataset {
+// goldenScaleFactors lists the scale factors pinned by a golden file
+// each; the second, larger scale exercises partition spill, date-range
+// selectivity, and aggregate grouping on ~5x the data of the first.
+var goldenScaleFactors = []float64{0.002, 0.01}
+
+func goldenDataset(t *testing.T, sf, e float64) *Dataset {
 	t.Helper()
-	ds, err := Generate(Config{SF: 0.002, ExceptionRate: e, LineitemPartitions: 3, Seed: 7})
+	ds, err := Generate(Config{SF: sf, ExceptionRate: e, LineitemPartitions: 3, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,51 +61,56 @@ func goldenRun(t *testing.T, q *Queries, name string, mode Mode, ji *joinindex.I
 }
 
 // TestGoldenResults is the golden-result regression test: at a fixed
-// seed, every query is executed both via the patch-indexed plan and via
-// the naive full-scan reference plan, on ONE shared DatabaseSnapshot.
-// The two must return identical rows, and the canonical rendering of
-// the rows must match the committed golden file, so a silent change in
-// plan construction, shard COW, generator determinism, or aggregation
-// shows up as a diff. Regenerate with: go test ./internal/tpch -run
-// TestGoldenResults -update
+// seed and per scale factor, every query is executed both via the
+// patch-indexed plan and via the naive full-scan reference plan, on ONE
+// shared DatabaseSnapshot. The two must return identical rows, and the
+// canonical rendering of the rows must match the committed per-SF
+// golden file, so a silent change in plan construction, shard COW,
+// generator determinism, or aggregation shows up as a diff. Regenerate
+// with: go test ./internal/tpch -run TestGoldenResults -update
 func TestGoldenResults(t *testing.T) {
-	var b strings.Builder
-	for _, cfg := range goldenConfigs {
-		ds := goldenDataset(t, cfg.e)
-		q := ds.Queries() // one snapshot for all queries and both plans
-		defer q.Close()
-		for _, name := range []string{"Q3", "Q7", "Q12"} {
-			ref := goldenRun(t, q, name, ModeReference, nil)
-			pi := goldenRun(t, q, name, ModePatchIndex, nil)
-			if pi != ref {
-				t.Fatalf("%s/%s: patch-indexed plan disagrees with full-scan reference:\nPI:\n%s\nref:\n%s",
-					cfg.name, name, pi, ref)
+	for _, sf := range goldenScaleFactors {
+		sf := sf
+		t.Run(fmt.Sprintf("sf%g", sf), func(t *testing.T) {
+			var b strings.Builder
+			for _, cfg := range goldenConfigs {
+				ds := goldenDataset(t, sf, cfg.e)
+				q := ds.Queries() // one snapshot for all queries and both plans
+				defer q.Close()
+				for _, name := range []string{"Q3", "Q7", "Q12"} {
+					ref := goldenRun(t, q, name, ModeReference, nil)
+					pi := goldenRun(t, q, name, ModePatchIndex, nil)
+					if pi != ref {
+						t.Fatalf("%s/%s: patch-indexed plan disagrees with full-scan reference:\nPI:\n%s\nref:\n%s",
+							cfg.name, name, pi, ref)
+					}
+					if name != "Q3" && ref == "" {
+						t.Fatalf("%s/%s returned no rows; weak golden", cfg.name, name)
+					}
+					fmt.Fprintf(&b, "== %s %s ==\n%s", cfg.name, name, ref)
+				}
 			}
-			if name != "Q3" && ref == "" {
-				t.Fatalf("%s/%s returned no rows; weak golden", cfg.name, name)
-			}
-			fmt.Fprintf(&b, "== %s %s ==\n%s", cfg.name, name, ref)
-		}
-	}
-	got := b.String()
+			got := b.String()
 
-	path := filepath.Join("testdata", "golden_sf0.002_seed7.txt")
-	if *updateGolden {
-		if err := os.MkdirAll("testdata", 0o755); err != nil {
-			t.Fatal(err)
-		}
-		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
-			t.Fatal(err)
-		}
-		t.Logf("rewrote %s (%d bytes)", path, len(got))
-		return
-	}
-	want, err := os.ReadFile(path)
-	if err != nil {
-		t.Fatalf("missing golden file (run with -update to create): %v", err)
-	}
-	if got != string(want) {
-		t.Fatalf("TPC-H results diverged from the committed goldens.\nIf the change is intentional, regenerate with -update.\ngot:\n%s\nwant:\n%s",
-			got, want)
+			path := filepath.Join("testdata", fmt.Sprintf("golden_sf%g_seed7.txt", sf))
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("rewrote %s (%d bytes)", path, len(got))
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Fatalf("TPC-H results diverged from the committed goldens.\nIf the change is intentional, regenerate with -update.\ngot:\n%s\nwant:\n%s",
+					got, want)
+			}
+		})
 	}
 }

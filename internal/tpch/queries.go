@@ -113,36 +113,43 @@ func (ds *Dataset) QueriesAt(snap *engine.DatabaseSnapshot) *Queries {
 	return q
 }
 
-// Close closes the underlying DatabaseSnapshot (releasing the engine's
-// physical-reorder guard); the snapshot's data stays readable.
+// Close closes the underlying DatabaseSnapshot, releasing its
+// generation refcounts (and with them the engine's physical-reorder
+// guard). Drain all operators built from this Queries first: after
+// Close a checkpoint may rewrite the captured arrays in place.
 func (q *Queries) Close() { q.snap.Close() }
 
 // Q3/Q7/Q12 on the Dataset capture a fresh multi-table snapshot per
 // call — the convenience entry points used by the experiments. Their
-// snapshot is closed before the operator is returned: like the engine's
-// own query entry points, these ephemeral per-query snapshots are not
-// tracked by the physical-reorder guard, so repeated queries don't
-// wedge it. The flip side (same as for the engine's entry points, see
-// Table.ExclusiveStorage): the returned operator must be drained before
-// any physical reorder (sortkey.CreateEngine) runs — the guard no
-// longer protects it. Hold an explicit Queries and Close it after
-// draining to keep the guard for the whole query lifetime.
+// ephemeral snapshot closes itself at query end (end of stream, first
+// error, or operator Close), exactly like the engine's own query entry
+// points: until the returned operator is drained, the snapshot's
+// generation refcounts keep gating checkpoint copy-on-write and make
+// physical reorders (sortkey.CreateEngine) refuse, and afterwards the
+// guard releases on its own, so repeated queries never wedge it.
 func (ds *Dataset) Q3(mode Mode, ji *joinindex.Index) (exec.Operator, error) {
-	q := ds.Queries()
-	defer q.Close()
-	return q.Q3(mode, ji)
+	return ds.ephemeral(func(q *Queries) (exec.Operator, error) { return q.Q3(mode, ji) })
 }
 
 func (ds *Dataset) Q7(mode Mode, ji *joinindex.Index) (exec.Operator, error) {
-	q := ds.Queries()
-	defer q.Close()
-	return q.Q7(mode, ji)
+	return ds.ephemeral(func(q *Queries) (exec.Operator, error) { return q.Q7(mode, ji) })
 }
 
 func (ds *Dataset) Q12(mode Mode, ji *joinindex.Index) (exec.Operator, error) {
+	return ds.ephemeral(func(q *Queries) (exec.Operator, error) { return q.Q12(mode, ji) })
+}
+
+// ephemeral binds a per-query snapshot whose refcounts release when the
+// returned operator is drained or closed (immediately, when building
+// the plan fails).
+func (ds *Dataset) ephemeral(build func(*Queries) (exec.Operator, error)) (exec.Operator, error) {
 	q := ds.Queries()
-	defer q.Close()
-	return q.Q12(mode, ji)
+	op, err := build(q)
+	if err != nil {
+		q.Close()
+		return nil, err
+	}
+	return exec.OnClose(op, q.Close), nil
 }
 
 // refsFor returns the JoinIndex reference columns pinned to this

@@ -87,8 +87,11 @@ func (ds *Dataset) RF2(n int, ji *joinindex.Index) (int, error) {
 	}
 	// Determine the key range of the n smallest orderkeys. Read through
 	// the non-freezing accessor: this is a read-modify-write, and a View
-	// here would mark the base generation shared and force the delete
-	// checkpoint below to clone whole partitions.
+	// here would pin the base generation permanently and force the
+	// delete checkpoint below to clone whole partitions for a view
+	// nobody keeps. (Snapshots held by concurrent queries are fine: they
+	// release their generation refs at query end, so only checkpoints
+	// racing an actually-live snapshot pay the clone.)
 	orders := ds.DB.MustTable("orders")
 	keys := orders.ReadInt64Column(0, "o_orderkey")
 	if len(keys) == 0 {

@@ -396,17 +396,27 @@ func TestSnapshotQueriesUnderRefreshStream(t *testing.T) {
 }
 
 // TestConvenienceQueriesDontWedgeReorderGuard: the Dataset.Q3/Q7/Q12
-// wrappers close their ephemeral snapshot before returning, so repeated
-// convenience queries must not permanently block the engine's
-// physical-reorder guard; an explicitly held Queries snapshot must.
+// wrappers hold their ephemeral snapshot only until the returned
+// operator is drained — an in-flight convenience query blocks the
+// engine's physical-reorder guard (a reorder mid-drain would corrupt
+// it), but a drained one releases on its own, so repeated convenience
+// queries must not permanently block the guard. An explicitly held
+// Queries snapshot blocks it until Close.
 func TestConvenienceQueriesDontWedgeReorderGuard(t *testing.T) {
 	ds := smallDataset(t, 0)
 	noop := func(*storage.Table) error { return nil }
-	if _, err := ds.Q12(ModePatchIndex, nil); err != nil {
+	op, err := ds.Q12(ModePatchIndex, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.DB.MustTable("orders").ExclusiveStorage(noop); err == nil {
+		t.Fatal("reorder guard open while a convenience query is in flight")
+	}
+	if _, err := ResultRows(op); err != nil {
 		t.Fatal(err)
 	}
 	if err := ds.DB.MustTable("orders").ExclusiveStorage(noop); err != nil {
-		t.Fatalf("reorder guard wedged after convenience query: %v", err)
+		t.Fatalf("reorder guard wedged after drained convenience query: %v", err)
 	}
 	q := ds.Queries()
 	if err := ds.DB.MustTable("orders").ExclusiveStorage(noop); err == nil {
