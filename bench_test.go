@@ -208,7 +208,7 @@ func BenchmarkFig7QueryPerformance(b *testing.B) {
 			b.Run(fmt.Sprintf("%v/e=%.1f/materialization", constraint, e), func(b *testing.B) {
 				_, t := benchTable(b, constraint, e)
 				if constraint == core.NearlyUnique {
-					mv, err := matview.Create(t.Views(), 1)
+					mv, err := matview.CreateFromTable(t, 1)
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -255,7 +255,7 @@ func BenchmarkFig8Creation(b *testing.B) {
 					_, t := benchTable(b, constraint, e)
 					b.StartTimer()
 					if constraint == core.NearlyUnique {
-						if _, err := matview.Create(t.Views(), 1); err != nil {
+						if _, err := matview.CreateFromTable(t, 1); err != nil {
 							b.Fatal(err)
 						}
 					} else {
@@ -308,7 +308,7 @@ func BenchmarkFig9Updates(b *testing.B) {
 				var sk *sortkey.SortKey
 				if ap.mat {
 					if constraint == core.NearlyUnique {
-						mv, _ = matview.Create(t.Views(), 1)
+						mv, _ = matview.CreateFromTable(t, 1)
 					} else {
 						sk = sortkey.Create(t.Store(), 1, false)
 					}
@@ -322,7 +322,7 @@ func BenchmarkFig9Updates(b *testing.B) {
 						b.Fatal(err)
 					}
 					if mv != nil {
-						if err := mv.Refresh(t.Views(), 1); err != nil {
+						if err := mv.RefreshFromTable(t, 1); err != nil {
 							b.Fatal(err)
 						}
 					}
@@ -343,7 +343,7 @@ func BenchmarkFig9Updates(b *testing.B) {
 				var sk *sortkey.SortKey
 				if ap.mat {
 					if constraint == core.NearlyUnique {
-						mv, _ = matview.Create(t.Views(), 1)
+						mv, _ = matview.CreateFromTable(t, 1)
 					} else {
 						sk = sortkey.Create(t.Store(), 1, false)
 					}
@@ -366,7 +366,7 @@ func BenchmarkFig9Updates(b *testing.B) {
 						}
 						if ap.mat {
 							if constraint == core.NearlyUnique {
-								mv, _ = matview.Create(t.Views(), 1)
+								mv, _ = matview.CreateFromTable(t, 1)
 							} else {
 								sk = sortkey.Create(t.Store(), 1, false)
 							}
@@ -377,7 +377,7 @@ func BenchmarkFig9Updates(b *testing.B) {
 						b.Fatal(err)
 					}
 					if mv != nil {
-						if err := mv.Refresh(t.Views(), 1); err != nil {
+						if err := mv.RefreshFromTable(t, 1); err != nil {
 							b.Fatal(err)
 						}
 					}
@@ -409,7 +409,7 @@ func BenchmarkTable3Memory(b *testing.B) {
 				}
 				idBytes = t2.IndexMemoryBytes("val")
 				_, t3 := benchTable(b, core.NearlyUnique, e)
-				mv, err := matview.Create(t3.Views(), 1)
+				mv, err := matview.CreateFromTable(t3, 1)
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -7,11 +7,12 @@
 // # Snapshots
 //
 // Reads are isolated from updates by immutable snapshots. A
-// TableSnapshot captures one table's state under the table lock; a
-// DatabaseSnapshot (Database.Snapshot) captures several tables in one
-// atomic multi-table capture by acquiring the per-table locks in
-// deterministic name order, so a join never observes table A before an
-// update query and table B after it. Capturing copies no data:
+// TableSnapshot captures one table's state with all of the table's
+// partition locks briefly held; a DatabaseSnapshot (Database.Snapshot)
+// captures several tables in one atomic multi-table capture by
+// acquiring the per-table partition locks in deterministic name order,
+// so a join never observes table A before an update query and table B
+// after it. Capturing copies no data:
 // partition views are frozen (storage.Partition.Freeze), positional
 // deltas are sealed, and every PatchIndex is frozen via core.Index.Freeze.
 //
@@ -24,7 +25,8 @@
 // touched), not O(bitmap size) — the invariant BenchmarkUpdateUnderSnapshot
 // locks down. The sharing is safe without further locking because shared
 // shard words and start values are never written in place (writers copy
-// first), and all live-side bookkeeping happens under the table lock.
+// first), and all live-side bookkeeping happens under the table's
+// write locks.
 //
 // # Generation refcounts for base storage
 //
@@ -37,8 +39,39 @@
 // closed). A delete/modify checkpoint clones a partition only while a
 // live snapshot references its current generation; once the snapshots
 // close, checkpoints go back to mutating in place. Physical storage
-// reorganization (SortKey) refuses while any snapshot ref is live,
-// ephemeral ones included.
+// reorganization refuses while snapshot refs are live: whole-table
+// reorders (Table.ExclusiveStorage) while ANY ref is live, ephemeral
+// ones included; partition-granular reorders (Table.ExclusivePartition)
+// only while a ref holds the target partition's current generation — a
+// SortKey rebuild of one partition proceeds while a query drains a
+// sibling.
+//
+// # Per-partition write locking
+//
+// A table is guarded by a structure lock (an RWMutex) plus one mutex
+// per partition slot. Writers pick one of three modes:
+//
+//   - structure write lock alone: table-wide operations that mutate
+//     shared table state — DDL (CreatePatchIndex, DropPatchIndex, Load),
+//     Bloom filter management, and any update whose index maintenance
+//     needs a global view (inserts, and modifies of NUC-indexed
+//     columns, whose collision join probes every partition).
+//   - structure read lock + one partition lock: partition-scoped
+//     updates — DeleteRowIDs, and Modify of columns without a NUC
+//     index — including their per-partition checkpoint. Updates to
+//     disjoint partitions run concurrently.
+//   - structure read lock + ALL partition locks in index order:
+//     multi-partition reads that must observe one consistent table
+//     state — snapshot capture, Checkpoint, NumRows, PatchIndexes.
+//     Taking the partition locks in index order (the same way
+//     DatabaseSnapshot takes table locks in name order) keeps
+//     all-partition holders deadlock-free against each other.
+//
+// The global lock order is: database map lock → table structure lock →
+// partition locks in ascending index order → the storage registry
+// mutex. Holding the structure write lock implies exclusive access to
+// every partition (it excludes all read-lock holders), so write-locked
+// paths never touch the partition mutexes.
 package engine
 
 import (
@@ -52,25 +85,29 @@ import (
 	"patchindex/internal/storage"
 )
 
-// Database is a named collection of tables. All DDL/DML entry points are
-// safe for concurrent use; per-table updates serialize on the table lock
-// (queries inside one update query run single-threaded per partition,
-// mirroring the paper's snapshot-isolated engine).
+// Database is a named collection of tables. All DDL/DML entry points
+// are safe for concurrent use. Updates lock at partition granularity:
+// partition-scoped updates (DeleteRowIDs, Modify of a column without a
+// NUC index) take only their target partition's lock, so updates to
+// disjoint partitions of the same table run in parallel; table-wide
+// updates (Insert, Modify of a NUC-indexed column — their index
+// maintenance joins against every partition) and DDL serialize on the
+// table's structure lock.
 //
 // Queries are snapshot-isolated from updates (the MVCC-lite analogue of
 // the host system's snapshot isolation the paper assumes, Section 5.4):
-// a query entry point captures an immutable TableSnapshot under the
-// table lock — frozen partition views, the sealed positional delta, and
-// the per-partition PatchIndexes — then releases the lock and executes
-// the whole vectorized plan against the snapshot. Updates racing the
-// query mutate fresh copy-on-write generations of whatever the snapshot
-// references (delta, patch bitmaps, and — for delete/modify checkpoints
-// — base partitions), so every query observes exactly the table state
-// at capture time: either entirely before or entirely after any
-// concurrent update query. The same holds for views handed out by
-// View/Views/Inputs/ScanAll. Only the evaluation comparators (SortKey's
-// physical reorder) bypass the engine and still need external
-// synchronization.
+// a query entry point captures an immutable TableSnapshot with all
+// partition locks briefly held — frozen partition views, the sealed
+// positional delta, and the per-partition PatchIndexes — then releases
+// the locks and executes the whole vectorized plan against the
+// snapshot. Updates racing the query mutate fresh copy-on-write
+// generations of whatever the snapshot references (delta, patch
+// bitmaps, and — for delete/modify checkpoints — base partitions), so
+// every query observes exactly the table state at capture time: either
+// entirely before or entirely after any concurrent update query. The
+// same holds for views handed out by View/Views/Inputs/ScanAll. Only
+// the evaluation comparators (SortKey's physical reorder) bypass the
+// engine and still need external synchronization.
 type Database struct {
 	mu     sync.RWMutex
 	tables map[string]*Table
@@ -91,6 +128,16 @@ func NewDatabase() *Database {
 }
 
 // Table is a partitioned table plus its pending deltas and PatchIndexes.
+//
+// Locking: mu is the structure lock; pmu holds one mutex per partition
+// slot. Writers hold either mu exclusively (table-wide operations) or
+// mu shared plus pmu[p] (partition-scoped operations on partition p);
+// multi-partition captures hold mu shared plus every pmu in index
+// order. Per-partition state (delta[p], deltaShared[p], the store's
+// partition p, and each column's index[p]) is owned by whoever holds
+// partition p under this protocol; the indexes/blooms maps themselves
+// change only under the exclusive structure lock. See the package
+// comment for the full lock order.
 //
 // Snapshot generation tracking: capturing a snapshot (Snapshot, a query
 // entry point, ScanAll) retains one refcount on every partition's
@@ -115,7 +162,8 @@ func NewDatabase() *Database {
 // so an insert-only checkpoint may append to the live arrays in place
 // without disturbing any snapshot.
 type Table struct {
-	mu    sync.Mutex
+	mu    sync.RWMutex
+	pmu   []sync.Mutex // one per partition slot; acquire in index order
 	name  string
 	store *storage.Table
 	delta []*pdt.Delta
@@ -145,6 +193,7 @@ func (db *Database) CreateTable(name string, schema storage.Schema, partitions i
 	partitions = st.NumPartitions() // NewTable clamps to >= 1
 	t := &Table{
 		name:        name,
+		pmu:         make([]sync.Mutex, partitions),
 		store:       st,
 		indexes:     make(map[string][]*core.Index),
 		deltaShared: make([]bool, partitions),
@@ -164,11 +213,25 @@ func (db *Database) Table(name string) *Table {
 	return db.tables[name]
 }
 
-// MustTable returns the named table or panics.
-func (db *Database) MustTable(name string) *Table {
+// LookupTable returns the named table, or an error when it does not
+// exist — the error-returning convention the snapshot API established
+// (SnapshotTable). The DML entry points resolve names through it, so an
+// update against an unknown table reports an error instead of
+// panicking.
+func (db *Database) LookupTable(name string) (*Table, error) {
 	t := db.Table(name)
 	if t == nil {
-		panic(fmt.Sprintf("engine: unknown table %q", name))
+		return nil, fmt.Errorf("engine: unknown table %q", name)
+	}
+	return t, nil
+}
+
+// MustTable returns the named table or panics — a thin wrapper over
+// LookupTable for tests and experiment drivers that own their schema.
+func (db *Database) MustTable(name string) *Table {
+	t, err := db.LookupTable(name)
+	if err != nil {
+		panic(err)
 	}
 	return t
 }
@@ -186,10 +249,43 @@ func (t *Table) Store() *storage.Table { return t.store }
 // NumPartitions returns the partition count.
 func (t *Table) NumPartitions() int { return t.store.NumPartitions() }
 
+// lockPartition acquires the partition-scoped write mode for partition
+// p: the structure lock shared plus p's partition lock. The holder owns
+// delta[p], deltaShared[p], the store's partition p, and every column
+// index's slot p.
+func (t *Table) lockPartition(p int) {
+	t.mu.RLock()
+	t.pmu[p].Lock()
+}
+
+func (t *Table) unlockPartition(p int) {
+	t.pmu[p].Unlock()
+	t.mu.RUnlock()
+}
+
+// lockAllPartitions acquires the multi-partition capture mode: the
+// structure lock shared plus every partition lock, taken in index order
+// so concurrent all-partition holders cannot deadlock. Held briefly —
+// snapshot captures and whole-table checkpoints do O(partitions +
+// index shards) bookkeeping under it, never bulk data work.
+func (t *Table) lockAllPartitions() {
+	t.mu.RLock()
+	for p := range t.pmu {
+		t.pmu[p].Lock()
+	}
+}
+
+func (t *Table) unlockAllPartitions() {
+	for p := len(t.pmu) - 1; p >= 0; p-- {
+		t.pmu[p].Unlock()
+	}
+	t.mu.RUnlock()
+}
+
 // NumRows returns the logical row count including pending deltas.
 func (t *Table) NumRows() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.lockAllPartitions()
+	defer t.unlockAllPartitions()
 	var n int
 	for p := range t.delta {
 		n += t.viewLocked(p).NumRows()
@@ -203,16 +299,16 @@ func (t *Table) NumRows() int {
 // permanently (one clone at the next delete/modify checkpoint, nothing
 // after the swap); prefer Snapshot for a releasable capture.
 func (t *Table) View(p int) *pdt.View {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.lockPartition(p)
+	defer t.unlockPartition(p)
 	t.store.Pin(p)
 	return t.snapshotViewLocked(p)
 }
 
-// viewLocked returns a live read view for use strictly under the table
-// lock (update handling, index discovery). It does not mark generations
-// shared, so it must never escape the lock — handed-out views go through
-// snapshotViewLocked instead.
+// viewLocked returns a live read view for use strictly while holding
+// partition p (update handling, index discovery). It does not mark
+// generations shared, so it must never escape the lock — handed-out
+// views go through snapshotViewLocked instead.
 func (t *Table) viewLocked(p int) *pdt.View {
 	return pdt.NewView(t.store.Partition(p), t.delta[p])
 }
@@ -234,8 +330,8 @@ func (t *Table) snapshotViewLocked(p int) *pdt.View {
 // would pin the base generation and force the subsequent delete
 // checkpoint to clone the whole partition for a view nobody keeps.
 func (t *Table) ReadInt64Column(partition int, column string) []int64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.lockPartition(partition)
+	defer t.unlockPartition(partition)
 	col := t.store.Schema().MustColumnIndex(column)
 	// MaterializeInt64 may alias live base storage when the delta is
 	// empty; copy so the result stays valid outside the lock.
@@ -247,8 +343,8 @@ func (t *Table) ReadInt64Column(partition int, column string) []int64 {
 // every partition's current base generation permanently; prefer
 // Snapshot for a releasable capture.
 func (t *Table) Views() []*pdt.View {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.lockAllPartitions()
+	defer t.unlockAllPartitions()
 	out := make([]*pdt.View, t.store.NumPartitions())
 	for p := range out {
 		t.store.Pin(p)
@@ -277,20 +373,45 @@ func (t *Table) mutableIndexesLocked(column string) []*core.Index {
 }
 
 // ExclusiveStorage runs fn with exclusive access to the table's
-// underlying storage, for physical reorganizations (the SortKey
-// evaluation comparator) that rewrite the shared column arrays in place
-// and therefore cannot coexist with snapshot readers. It refuses while
-// the snapshot registry holds any live ref on the table — explicitly
-// captured snapshots (Table.Snapshot, Database.Snapshot) and
+// underlying storage, for whole-table physical reorganizations (the
+// SortKey evaluation comparator) that rewrite the shared column arrays
+// in place and therefore cannot coexist with snapshot readers. It
+// refuses while the snapshot registry holds any live ref on the table —
+// explicitly captured snapshots (Table.Snapshot, Database.Snapshot) and
 // query-internal ephemeral snapshots alike, so a reorder can no longer
 // win against a query that is still draining. Explicit snapshots
 // release their ref on Close; ephemeral ones when their root operator
-// is drained or closed.
+// is drained or closed. The check is atomic with fn: the exclusive
+// structure lock excludes every capture path, so no new ref can appear
+// until fn returns.
 func (t *Table) ExclusiveStorage(fn func(*storage.Table) error) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if n := t.store.LiveSnapshotRefs(); n > 0 {
 		return fmt.Errorf("engine: table %q has %d live snapshot ref(s) (explicit or in-flight query); close/drain them before physically reordering storage", t.name, n)
+	}
+	return fn(t.store)
+}
+
+// ExclusivePartition runs fn with exclusive access to partition p of
+// the table's underlying storage — the partition-granular form of
+// ExclusiveStorage, for physical reorganizations confined to one
+// partition (a SortKey rebuild of a single partition). It refuses only
+// while a snapshot ref holds partition p's *current* generation: a
+// whole-table snapshot gates every partition, but a partition-scoped
+// capture (ScanPartition) of a sibling — or a ref left on a retired
+// generation by a checkpoint's clone-and-swap — does not, so a rebuild
+// of partition 3 proceeds while a query drains partition 0. Holding
+// pmu[p] makes the check atomic with fn: every capture path needs
+// partition p's lock before it can retain p's generation.
+func (t *Table) ExclusivePartition(p int, fn func(*storage.Table) error) error {
+	if p < 0 || p >= len(t.pmu) {
+		return fmt.Errorf("engine: table %q has no partition %d", t.name, p)
+	}
+	t.lockPartition(p)
+	defer t.unlockPartition(p)
+	if t.store.PartitionRetained(p) {
+		return fmt.Errorf("engine: partition %d of table %q is captured by a live snapshot (explicit or in-flight query); close/drain it before physically reordering the partition", p, t.name)
 	}
 	return fn(t.store)
 }
@@ -406,8 +527,8 @@ func (t *Table) DropPatchIndex(column string) {
 // reading them while updates proceed on the live indexes: the frozen
 // copies share patch storage copy-on-write at shard granularity.
 func (t *Table) PatchIndexes(column string) []*core.Index {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.lockAllPartitions()
+	defer t.unlockAllPartitions()
 	return freezeIndexes(t.indexes[column])
 }
 
@@ -430,8 +551,8 @@ func (t *Table) Inputs(column string) []plan.PartitionInput {
 // ExceptionRate returns the aggregate exception rate of the PatchIndexes
 // on column.
 func (t *Table) ExceptionRate(column string) float64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.lockAllPartitions()
+	defer t.unlockAllPartitions()
 	idx := t.indexes[column]
 	if idx == nil {
 		return 0
@@ -449,8 +570,8 @@ func (t *Table) ExceptionRate(column string) float64 {
 
 // IndexMemoryBytes sums the memory of the PatchIndexes on column.
 func (t *Table) IndexMemoryBytes(column string) uint64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.lockAllPartitions()
+	defer t.unlockAllPartitions()
 	var n uint64
 	for _, x := range t.indexes[column] {
 		n += x.MemoryBytes()
@@ -460,13 +581,23 @@ func (t *Table) IndexMemoryBytes(column string) uint64 {
 
 // Checkpoint propagates all pending deltas into base storage.
 func (t *Table) Checkpoint() {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.lockAllPartitions()
+	defer t.unlockAllPartitions()
 	t.checkpointLocked()
 }
 
 // checkpointLocked propagates every partition's pending delta into base
-// storage, honoring live snapshots:
+// storage. The caller holds the table exclusively (structure write
+// lock, or all partition locks).
+func (t *Table) checkpointLocked() {
+	for p := range t.delta {
+		t.checkpointPartitionLocked(p)
+	}
+}
+
+// checkpointPartitionLocked propagates partition p's pending delta into
+// base storage, honoring live snapshots. The caller holds partition p
+// (see Table's locking comment):
 //
 //   - An insert-only delta appends to the live partition in place.
 //     Frozen snapshot views cap their own column headers, so appends
@@ -480,25 +611,23 @@ func (t *Table) Checkpoint() {
 //     in place again).
 //   - A delta sealed into a snapshot is not reset but replaced, leaving
 //     the sealed generation frozen.
-func (t *Table) checkpointLocked() {
-	for p := range t.delta {
-		d := t.delta[p]
-		if d.Empty() {
-			continue
-		}
-		if t.store.GenerationShared(p) && !d.InsertsOnly() {
-			next := t.store.Partition(p).Clone()
-			d.ApplyTo(next)
-			t.store.SetPartition(p, next)
-		} else {
-			d.ApplyTo(t.store.Partition(p))
-		}
-		newRows := t.store.Partition(p).NumRows()
-		if t.deltaShared[p] {
-			t.delta[p] = pdt.NewDelta(t.store.Schema(), newRows)
-			t.deltaShared[p] = false
-		} else {
-			d.Reset(newRows)
-		}
+func (t *Table) checkpointPartitionLocked(p int) {
+	d := t.delta[p]
+	if d.Empty() {
+		return
+	}
+	if t.store.GenerationShared(p) && !d.InsertsOnly() {
+		next := t.store.Partition(p).Clone()
+		d.ApplyTo(next)
+		t.store.SetPartition(p, next)
+	} else {
+		d.ApplyTo(t.store.Partition(p))
+	}
+	newRows := t.store.Partition(p).NumRows()
+	if t.deltaShared[p] {
+		t.delta[p] = pdt.NewDelta(t.store.Schema(), newRows)
+		t.deltaShared[p] = false
+	} else {
+		d.Reset(newRows)
 	}
 }

@@ -2,7 +2,6 @@ package engine
 
 import (
 	"fmt"
-	"sort"
 
 	"patchindex/internal/core"
 	"patchindex/internal/exec"
@@ -15,9 +14,22 @@ import (
 // delta when AutoCheckpoint is set. Handling happens immediately after
 // the update, so the materialized constraint information never reaches
 // an inconsistent state. Checkpoints consult the snapshot registry
-// (see checkpointLocked): a delete/modify checkpoint clones a partition
-// only while a live snapshot references its current generation, so the
-// update path owes nothing to queries that already finished.
+// (see checkpointPartitionLocked): a delete/modify checkpoint clones a
+// partition only while a live snapshot references its current
+// generation, so the update path owes nothing to queries that already
+// finished.
+//
+// Locking is partition-granular where maintenance allows it.
+// DeleteRowIDs, and Modify of a column without a NUC index, touch only
+// their target partition (delete handling and NSC modify handling are
+// partition-local, Table 1), so they run under that partition's lock
+// alone and disjoint-partition updates proceed in parallel. Insert and
+// NUC-column Modify run their collision join against every partition
+// (uniqueness is a global property, Section 5.1) and take the exclusive
+// structure lock. An auto-checkpoint inside a partition-scoped update
+// propagates only that partition's delta; other partitions' deltas
+// (pending from AutoCheckpoint-off phases) are left for their own
+// updates or an explicit Checkpoint.
 
 // changedRef identifies one inserted or modified tuple across the
 // partitioned table, together with its (new) value in the indexed
@@ -81,7 +93,12 @@ func (t *Table) hasNUCIndex() bool {
 //     sorted subsequence of the inserted values; the rest become patches
 //     (partition-local).
 func (db *Database) Insert(table string, rows []storage.Row) error {
-	t := db.MustTable(table)
+	t, err := db.LookupTable(table)
+	if err != nil {
+		return err
+	}
+	// Inserts spread over every partition round-robin, and NUC insert
+	// handling joins globally: exclusive structure lock.
 	t.mu.Lock()
 	defer t.mu.Unlock()
 
@@ -300,23 +317,36 @@ func (t *Table) stringCollisions(col int, changedStrs [][]string, out []core.NUC
 	}
 }
 
-// DeleteRowIDs removes the tuples at the given ascending partition-local
-// rowIDs and maintains all PatchIndexes by dropping their tracking
-// information (Section 5.3) — bulk delete for the bitmap design,
-// decrement compaction for the identifier design.
+// DeleteRowIDs removes the tuples at the given strictly ascending
+// partition-local rowIDs and maintains all PatchIndexes by dropping
+// their tracking information (Section 5.3) — bulk delete for the bitmap
+// design, decrement compaction for the identifier design. Delete
+// handling is partition-local for every index kind, so only the target
+// partition's lock is taken: deletes against disjoint partitions run in
+// parallel.
 func (db *Database) DeleteRowIDs(table string, partition int, rowIDs []uint64) error {
-	t := db.MustTable(table)
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t, err := db.LookupTable(table)
+	if err != nil {
+		return err
+	}
+	if partition < 0 || partition >= t.NumPartitions() {
+		return fmt.Errorf("engine: table %q has no partition %d", table, partition)
+	}
+	t.lockPartition(partition)
+	defer t.unlockPartition(partition)
 	return t.deleteRowIDsLocked(db, partition, rowIDs)
 }
 
+// deleteRowIDsLocked applies one partition's delete. The caller holds
+// the partition (partition lock or exclusive structure lock).
 func (t *Table) deleteRowIDsLocked(db *Database, partition int, rowIDs []uint64) error {
 	if len(rowIDs) == 0 {
 		return nil
 	}
-	if !sort.SliceIsSorted(rowIDs, func(i, j int) bool { return rowIDs[i] < rowIDs[j] }) {
-		return fmt.Errorf("engine: delete rowIDs must be sorted")
+	for i := 1; i < len(rowIDs); i++ {
+		if rowIDs[i] <= rowIDs[i-1] {
+			return fmt.Errorf("engine: delete rowIDs must be strictly ascending")
+		}
 	}
 	logical := make([]int, len(rowIDs))
 	for i, r := range rowIDs {
@@ -327,17 +357,22 @@ func (t *Table) deleteRowIDsLocked(db *Database, partition int, rowIDs []uint64)
 		t.mutableIndexesLocked(column)[partition].HandleDelete(rowIDs)
 	}
 	if db.AutoCheckpoint {
-		t.checkpointLocked()
+		t.checkpointPartitionLocked(partition)
 	}
 	return nil
 }
 
 // DeleteWhereInt64 deletes all tuples whose value in column satisfies
 // pred, across all partitions, and returns the number of deleted tuples.
+// The scan-and-delete must observe and mutate one consistent table
+// state, so it holds every partition lock for its duration.
 func (db *Database) DeleteWhereInt64(table, column string, pred func(int64) bool) (int, error) {
-	t := db.MustTable(table)
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t, err := db.LookupTable(table)
+	if err != nil {
+		return 0, err
+	}
+	t.lockAllPartitions()
+	defer t.unlockAllPartitions()
 	col := t.store.Schema().MustColumnIndex(column)
 	var total int
 	for p := 0; p < t.store.NumPartitions(); p++ {
@@ -369,12 +404,49 @@ func (db *Database) DeleteWhereInt64(table, column string, pred func(int64) bool
 //   - Indexes on other columns are untouched (their values didn't
 //     change).
 func (db *Database) Modify(table string, partition int, rowIDs []uint64, column string, values []storage.Value) error {
-	t := db.MustTable(table)
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t, err := db.LookupTable(table)
+	if err != nil {
+		return err
+	}
 	if len(rowIDs) != len(values) {
 		return fmt.Errorf("engine: Modify rowIDs/values length mismatch")
 	}
+	if partition < 0 || partition >= t.NumPartitions() {
+		return fmt.Errorf("engine: table %q has no partition %d", table, partition)
+	}
+
+	// Partition-scoped fast path: when the modified column carries no
+	// NUC index, all maintenance is local to the target partition (NSC
+	// modify handling, the delta, the checkpoint), so only that
+	// partition's lock is needed and modifies of disjoint partitions run
+	// in parallel. The dispatch check stays valid for the duration: index
+	// DDL needs the exclusive structure lock, which the held read lock
+	// excludes.
+	t.mu.RLock()
+	if idx := t.indexes[column]; len(idx) == 0 || idx[0].ConstraintKind() != core.NearlyUnique {
+		t.pmu[partition].Lock()
+		err := t.modifyLocked(db, partition, rowIDs, column, values)
+		t.pmu[partition].Unlock()
+		t.mu.RUnlock()
+		return err
+	}
+	t.mu.RUnlock()
+
+	// NUC maintenance runs the global collision join against every
+	// partition: exclusive structure lock. modifyLocked re-reads the
+	// index map under it, so a DropPatchIndex racing the dispatch gap
+	// simply downgrades this to the (correct, coarser-locked) NSC path.
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.modifyLocked(db, partition, rowIDs, column, values)
+}
+
+// modifyLocked applies one partition's modify and its index
+// maintenance. The caller holds partition `partition` — via its
+// partition lock when the modified column has no NUC index, via the
+// exclusive structure lock (which the global collision join needs)
+// otherwise.
+func (t *Table) modifyLocked(db *Database, partition int, rowIDs []uint64, column string, values []storage.Value) error {
 	col := t.store.Schema().MustColumnIndex(column)
 	// As in Insert: reject payload overflow before mutating the delta,
 	// so the error path leaves table and indexes consistent. Only the
@@ -382,7 +454,7 @@ func (db *Database) Modify(table string, partition int, rowIDs []uint64, column 
 	if idx := t.indexes[column]; len(idx) > 0 && idx[0].ConstraintKind() == core.NearlyUnique {
 		for _, r := range rowIDs {
 			if _, err := encodeRef(partition, r); err != nil {
-				return fmt.Errorf("engine: modify on %s.%s: %w", table, column, err)
+				return fmt.Errorf("engine: modify on %s.%s: %w", t.name, column, err)
 			}
 		}
 	}
@@ -419,7 +491,7 @@ func (db *Database) Modify(table string, partition int, rowIDs []uint64, column 
 			} else {
 				joins, err := t.nucModifyCollisions(col, changed, changedStrs)
 				if err != nil {
-					return fmt.Errorf("engine: modify handling on %s.%s: %w", table, column, err)
+					return fmt.Errorf("engine: modify handling on %s.%s: %w", t.name, column, err)
 				}
 				for p := range idx {
 					idx[p].HandleModifyNUC(joins[p])
@@ -431,7 +503,7 @@ func (db *Database) Modify(table string, partition int, rowIDs []uint64, column 
 		}
 	}
 	if db.AutoCheckpoint {
-		t.checkpointLocked()
+		t.checkpointPartitionLocked(partition)
 	}
 	return nil
 }

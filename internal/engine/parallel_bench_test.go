@@ -1,0 +1,92 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"patchindex/internal/core"
+	"patchindex/internal/storage"
+)
+
+// BenchmarkParallelDisjointUpdates measures the tentpole of the
+// per-partition locking work: update throughput when concurrent writers
+// target disjoint partitions. Each op is one Modify of a 64-row batch
+// on an NSC-indexed column — delta mutation, NSC modify handling, and
+// the in-place auto-checkpoint, all under the target partition's lock
+// alone. The workers=N variants split b.N ops over N goroutines, one
+// partition each; ns/op is aggregate wall time per op, so near-linear
+// scaling shows as ns/op dropping ~Nx vs workers=1. The serialized
+// variant funnels the same 4-worker workload through one global mutex —
+// the old one-lock-per-table behavior — as the in-bench baseline.
+// Reference numbers: on a single-vCPU runner (no hardware parallelism
+// available) the disjoint variants still beat the serialized baseline
+// by ~10-25% (~11-13 µs/op vs ~14.6 µs/op at 4 workers) because no
+// worker ever blocks or context-switches on the global lock; the ~Nx
+// drop needs as many cores as workers.
+func BenchmarkParallelDisjointUpdates(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			runParallelDisjointUpdates(b, workers, false)
+		})
+	}
+	b.Run("workers=4/serialized", func(b *testing.B) {
+		runParallelDisjointUpdates(b, 4, true)
+	})
+}
+
+func runParallelDisjointUpdates(b *testing.B, workers int, serialized bool) {
+	const (
+		parts       = 8
+		rowsPerPart = 1 << 14
+		batch       = 64
+	)
+	db := NewDatabase()
+	tb, err := db.CreateTable("t", storage.Schema{{Name: "v", Kind: storage.KindInt64}}, parts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vals := make([]int64, parts*rowsPerPart)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	LoadColumnInt64(tb, vals)
+	if err := tb.CreatePatchIndex("v", core.NearlySorted, core.Options{Design: core.DesignBitmap}); err != nil {
+		b.Fatal(err)
+	}
+
+	var gmu sync.Mutex // the serialized baseline's whole-table lock
+	var wg sync.WaitGroup
+	b.ResetTimer()
+	for w := 0; w < workers; w++ {
+		n := b.N / workers
+		if w < b.N%workers {
+			n++
+		}
+		wg.Add(1)
+		go func(w, n int) {
+			defer wg.Done()
+			rowIDs := make([]uint64, batch)
+			values := make([]storage.Value, batch)
+			for i := 0; i < n; i++ {
+				base := (i * 131) % (rowsPerPart - batch)
+				for j := range rowIDs {
+					rowIDs[j] = uint64(base + j)
+					values[j] = storage.I64(int64(w*rowsPerPart + i + j))
+				}
+				if serialized {
+					gmu.Lock()
+				}
+				err := db.Modify("t", w, rowIDs, "v", values)
+				if serialized {
+					gmu.Unlock()
+				}
+				if err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(w, n)
+	}
+	wg.Wait()
+}

@@ -31,14 +31,17 @@ type QueryOptions struct {
 }
 
 // Distinct returns an operator computing DISTINCT(column). The operator
-// runs against an ephemeral snapshot captured here: the table lock is
-// released before the call returns, and concurrent updates do not
+// runs against an ephemeral snapshot captured here: the capture locks
+// are released before the call returns, and concurrent updates do not
 // affect the result. The snapshot's generation refcounts are released
 // automatically when the operator is drained or closed; until then the
 // snapshot gates checkpoint copy-on-write and physical reorders like an
 // explicitly held one.
 func (db *Database) Distinct(table, column string, opts QueryOptions) (exec.Operator, error) {
-	t := db.MustTable(table)
+	t, err := db.LookupTable(table)
+	if err != nil {
+		return nil, err
+	}
 	// Validate before capturing: a rejected query must not retain
 	// generation refs nobody would ever release.
 	if t.Schema().ColumnIndex(column) < 0 {
@@ -57,8 +60,8 @@ func (db *Database) Distinct(table, column string, opts QueryOptions) (exec.Oper
 // column's PatchIndex, registered in the snapshot registry; the query
 // entry points release it at query end via exec.OnClose.
 func (t *Table) snapshotColumn(column string) *TableSnapshot {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.lockAllPartitions()
+	defer t.unlockAllPartitions()
 	s := t.snapshotColumnLocked(column)
 	s.ref = t.store.Retain()
 	return s
@@ -95,7 +98,10 @@ func (s *TableSnapshot) Distinct(column string, opts QueryOptions) (exec.Operato
 // Distinct, it executes against an ephemeral snapshot captured at call
 // time (validated before capturing, released at query end).
 func (db *Database) SortQuery(table, column string, desc bool, opts QueryOptions) (exec.Operator, error) {
-	t := db.MustTable(table)
+	t, err := db.LookupTable(table)
+	if err != nil {
+		return nil, err
+	}
 	if t.Schema().ColumnIndex(column) < 0 {
 		return nil, fmt.Errorf("engine: unknown column %q", column)
 	}
@@ -145,11 +151,37 @@ func (t *Table) ScanAll(columns ...string) exec.Operator {
 	for _, c := range columns {
 		t.Schema().MustColumnIndex(c)
 	}
-	t.mu.Lock()
+	t.lockAllPartitions()
 	s := t.snapshotViewsLocked()
 	s.ref = t.store.Retain()
-	t.mu.Unlock()
+	t.unlockAllPartitions()
 	return exec.OnClose(s.ScanAll(columns...), s.Close)
+}
+
+// ScanPartition returns an operator scanning the given columns of just
+// partition p, against an ephemeral partition-scoped snapshot: only
+// partition p's lock is taken for the capture, and only p's current
+// generation is retained in the snapshot registry. While the scan
+// drains, checkpoints of partition p clone-and-swap and a
+// partition-granular reorder of p refuses — but sibling partitions owe
+// the scan nothing: their checkpoints mutate in place and their
+// rebuilds (ExclusivePartition) proceed. The ref is released when the
+// operator is drained or closed, like every query entry point. Unknown
+// columns and partitions panic — before the capture, so the aborted
+// call retains no generation refs.
+func (t *Table) ScanPartition(p int, columns ...string) exec.Operator {
+	cols := make([]int, len(columns))
+	for i, c := range columns {
+		cols[i] = t.Schema().MustColumnIndex(c)
+	}
+	if p < 0 || p >= len(t.pmu) {
+		panic(fmt.Sprintf("engine: table %q has no partition %d", t.name, p))
+	}
+	t.lockPartition(p)
+	view := t.snapshotViewLocked(p)
+	ref := t.store.RetainPartitions(p)
+	t.unlockPartition(p)
+	return exec.OnClose(exec.NewScan(view, cols), ref.Release)
 }
 
 // CollectInt64 drains a single-column BIGINT operator into a slice.

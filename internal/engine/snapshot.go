@@ -19,7 +19,7 @@ import (
 //
 // This is the MVCC-lite layer standing in for the snapshot isolation the
 // paper's host system provides (Section 5.4): a query plans and executes
-// entirely against the snapshot, without holding the table lock, while
+// entirely against the snapshot, without holding any table lock, while
 // update queries proceed on copy-on-write structures. A snapshot stays
 // valid until it is Closed, and holding one costs the update path a
 // copy of each bitmap shard, delta generation, and base-partition
@@ -33,8 +33,10 @@ import (
 // operator is drained or closed). While the ref is live, a
 // delete/modify checkpoint of a referenced partition generation clones
 // it and publishes the clone as a new generation instead of compacting
-// the shared arrays, and physical reorganization
-// (Table.ExclusiveStorage, the SortKey comparator) refuses outright.
+// the shared arrays, and physical reorganization refuses — whole-table
+// (Table.ExclusiveStorage, the SortKey comparator) while any ref is
+// live, partition-granular (Table.ExclusivePartition) while the ref
+// still holds the target partition's current generation.
 // Close is a promise to stop reading: afterwards the update path owes
 // the snapshot nothing — the next checkpoint of each partition may
 // compact the shared arrays in place, so the snapshot's views must not
@@ -53,13 +55,15 @@ type TableSnapshot struct {
 }
 
 // Snapshot captures an immutable view of the table's current state. The
-// table lock is held only for the capture itself — O(partitions + index
-// shards) bookkeeping, no data copying. Close the snapshot when done:
+// partition locks are held, all together in index order, only for the
+// capture itself — O(partitions + index shards) bookkeeping, no data
+// copying — so the capture is atomic with respect to partition-scoped
+// updates on every partition at once. Close the snapshot when done:
 // until then the update path clones any partition it would mutate in
 // place, and physical reorganization (SortKey) refuses.
 func (t *Table) Snapshot() *TableSnapshot {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.lockAllPartitions()
+	defer t.unlockAllPartitions()
 	return t.snapshotLocked()
 }
 
@@ -175,19 +179,20 @@ func (db *Database) SnapshotAll() *DatabaseSnapshot {
 }
 
 // snapshotTables locks the tables (already sorted by name — the global
-// lock order), captures each snapshot while all locks are held, then
+// lock order: tables by name, then each table's partition locks in
+// index order), captures each snapshot while all locks are held, then
 // releases. Holding all locks for the O(partitions + shards) captures is
 // what makes the multi-table state atomic.
 func snapshotTables(tabs []*Table) *DatabaseSnapshot {
 	for _, t := range tabs {
-		t.mu.Lock()
+		t.lockAllPartitions()
 	}
 	snap := &DatabaseSnapshot{tables: make(map[string]*TableSnapshot, len(tabs))}
 	for _, t := range tabs {
 		snap.tables[t.name] = t.snapshotLocked()
 	}
-	for _, t := range tabs {
-		t.mu.Unlock()
+	for i := len(tabs) - 1; i >= 0; i-- {
+		tabs[i].unlockAllPartitions()
 	}
 	return snap
 }

@@ -81,7 +81,7 @@ func RunFig7(w io.Writer, s Scale) {
 			var tMat float64
 			if constraint == core.NearlyUnique {
 				db2, t2, _ := loadGenerated(s, constraint, e)
-				mv, err := matview.Create(t2.Views(), 1)
+				mv, err := matview.CreateFromTable(t2, 1)
 				if err != nil {
 					panic(err)
 				}
@@ -127,7 +127,7 @@ func RunFig8(w io.Writer, s Scale) {
 			if constraint == core.NearlyUnique {
 				_, t2, _ := loadGenerated(s, constraint, e)
 				tMat = ms(timeIt(func() {
-					if _, err := matview.Create(t2.Views(), 1); err != nil {
+					if _, err := matview.CreateFromTable(t2, 1); err != nil {
 						panic(err)
 					}
 				}))
@@ -173,7 +173,7 @@ func RunTable3(w io.Writer, s Scale) {
 		idB := float64(t2.IndexMemoryBytes("val"))
 
 		_, t3, _ := loadGenerated(s, core.NearlyUnique, e)
-		mv, err := matview.Create(t3.Views(), 1)
+		mv, err := matview.CreateFromTable(t3, 1)
 		if err != nil {
 			panic(err)
 		}
@@ -239,7 +239,7 @@ func runUpdateExperiment(s Scale, constraint core.Constraint, op string, g int, 
 	if approach == "mat" {
 		if constraint == core.NearlyUnique {
 			var err error
-			mv, err = matview.Create(t.Views(), 1)
+			mv, err = matview.CreateFromTable(t, 1)
 			if err != nil {
 				panic(err)
 			}
@@ -249,7 +249,7 @@ func runUpdateExperiment(s Scale, constraint core.Constraint, op string, g int, 
 	}
 	refresh := func() {
 		if mv != nil {
-			if err := mv.Refresh(t.Views(), 1); err != nil {
+			if err := mv.RefreshFromTable(t, 1); err != nil {
 				panic(err)
 			}
 		}

@@ -6,6 +6,7 @@
 package matview
 
 import (
+	"patchindex/internal/engine"
 	"patchindex/internal/exec"
 	"patchindex/internal/pdt"
 	"patchindex/internal/storage"
@@ -19,7 +20,11 @@ type View struct {
 	Refreshes int
 }
 
-// Create materializes DISTINCT(col) over the partition views.
+// Create materializes DISTINCT(col) over the partition views. The view
+// drains its inputs eagerly, so feed it a releasable capture — an
+// engine TableSnapshot's Views, Closed right after Create returns —
+// rather than the unclosable engine Table.Views surface, which pins
+// every touched base generation forever.
 func Create(inputs []*pdt.View, col int) (*View, error) {
 	v := &View{}
 	if err := v.refresh(inputs, col); err != nil {
@@ -59,6 +64,25 @@ func (v *View) refresh(inputs []*pdt.View, col int) error {
 // materialization approach.
 func (v *View) Refresh(inputs []*pdt.View, col int) error {
 	return v.refresh(inputs, col)
+}
+
+// CreateFromTable materializes DISTINCT(col) over an engine table
+// through a releasable snapshot, closed as soon as the eager drain
+// finishes — the snapshot-disciplined way to feed the comparator from
+// a live table (Table.Views would pin a base generation per call,
+// forcing every later delete checkpoint into a clone).
+func CreateFromTable(t *engine.Table, col int) (*View, error) {
+	snap := t.Snapshot()
+	defer snap.Close()
+	return Create(snap.Views(), col)
+}
+
+// RefreshFromTable recomputes the view from a releasable snapshot of
+// the engine table (see CreateFromTable).
+func (v *View) RefreshFromTable(t *engine.Table, col int) error {
+	snap := t.Snapshot()
+	defer snap.Close()
+	return v.Refresh(snap.Views(), col)
 }
 
 // Rows returns the number of materialized distinct values.

@@ -16,11 +16,21 @@
 // while any snapshot ref is live, and blocking new refs for its
 // duration — rather than reorder a table some snapshot still
 // references.
+//
+// Re-sorts can also be confined to one partition:
+// RebuildPartitionChecked goes through the partition-granular guard
+// (engine.Table.ExclusivePartition / storage.Table.ExclusivePartition),
+// which refuses only while a snapshot ref holds the *target*
+// partition's current generation — a rebuild of partition 3 proceeds
+// while a query drains a partition-scoped capture of partition 0, and
+// partition-local sortedness is exactly what SortedScan's partition
+// merge relies on.
 package sortkey
 
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"patchindex/internal/engine"
 	"patchindex/internal/exec"
@@ -34,10 +44,18 @@ type SortKey struct {
 	col   int
 	desc  bool
 	// Rebuilds counts physical re-sorts, for the update experiments.
+	// Partition-scoped rebuilds of disjoint partitions may run
+	// concurrently (the engine guard serializes per partition, not per
+	// table), so increments go through countMu; read Rebuilds only
+	// after the rebuilds quiesce.
 	Rebuilds int
-	// guard wraps the physical reorder for engine-owned tables
-	// (Table.ExclusiveStorage); nil for raw storage-level SortKeys.
-	guard func(func(*storage.Table) error) error
+	countMu  sync.Mutex
+	// guard wraps the whole-table physical reorder for engine-owned
+	// tables (Table.ExclusiveStorage); nil for raw storage-level
+	// SortKeys. pguard is its partition-granular sibling
+	// (Table.ExclusivePartition).
+	guard  func(func(*storage.Table) error) error
+	pguard func(int, func(*storage.Table) error) error
 }
 
 // Create physically sorts every partition of table by col. The caller
@@ -61,9 +79,9 @@ func Create(table *storage.Table, col int, desc bool) *SortKey {
 // storage-level path: the liveness check and the reorder run atomically
 // under the registry lock, so a query capturing concurrently either
 // blocks until the reorder finishes or makes the reorder refuse.
-// (Guarded SortKeys go through engine.Table.ExclusiveStorage instead,
-// which performs the check under the engine's table lock — the lock all
-// engine captures take.)
+// (Guarded SortKeys go through engine.Table.ExclusiveStorage or
+// ExclusivePartition instead, which perform the check under the
+// engine's locks — the locks every engine capture takes.)
 func (s *SortKey) rebuildExclusive() error {
 	return s.table.Exclusive(func() error {
 		s.rebuild()
@@ -82,7 +100,7 @@ func CreateEngine(t *engine.Table, column string, desc bool) (*SortKey, error) {
 	if col < 0 {
 		return nil, fmt.Errorf("sortkey: unknown column %q on table %q", column, t.Name())
 	}
-	s := &SortKey{col: col, desc: desc, guard: t.ExclusiveStorage}
+	s := &SortKey{col: col, desc: desc, guard: t.ExclusiveStorage, pguard: t.ExclusivePartition}
 	err := s.guard(func(st *storage.Table) error {
 		s.table = st
 		s.rebuild()
@@ -99,7 +117,13 @@ func (s *SortKey) rebuild() {
 	for p := 0; p < s.table.NumPartitions(); p++ {
 		sortPartition(s.table.Partition(p), s.col, s.desc)
 	}
+	s.countRebuild()
+}
+
+func (s *SortKey) countRebuild() {
+	s.countMu.Lock()
 	s.Rebuilds++
+	s.countMu.Unlock()
 }
 
 // Rebuild re-sorts the table — the per-update maintenance cost of the
@@ -123,6 +147,29 @@ func (s *SortKey) RebuildChecked() error {
 	return s.guard(func(*storage.Table) error {
 		s.rebuild()
 		return nil
+	})
+}
+
+// RebuildPartitionChecked re-sorts just partition p through the
+// partition-granular snapshot guard: it refuses only while a snapshot
+// ref holds p's current generation, so maintenance of one partition
+// proceeds while queries drain partition-scoped captures of its
+// siblings (and while refs linger on retired generations a checkpoint
+// already swapped out). Counts as one rebuild toward Rebuilds.
+func (s *SortKey) RebuildPartitionChecked(p int) error {
+	reorder := func(st *storage.Table) error {
+		sortPartition(st.Partition(p), s.col, s.desc)
+		s.countRebuild()
+		return nil
+	}
+	if s.pguard != nil {
+		return s.pguard(p, reorder)
+	}
+	if p < 0 || p >= s.table.NumPartitions() {
+		return fmt.Errorf("sortkey: table %q has no partition %d", s.table.Name, p)
+	}
+	return s.table.ExclusivePartition(p, func() error {
+		return reorder(s.table)
 	})
 }
 

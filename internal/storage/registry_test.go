@@ -86,3 +86,112 @@ func TestRegistryPin(t *testing.T) {
 		t.Fatal("pin survived a generation swap")
 	}
 }
+
+// TestDeleteRowsRejectsDuplicates: DeleteRows validates *strictly*
+// ascending positions. DeletePositions compacts by walking the sorted
+// list once, so a duplicate position would silently drop the wrong
+// trailing rows — the guard must reject it like an unsorted list.
+func TestDeleteRowsRejectsDuplicates(t *testing.T) {
+	mustPanic := func(name string, positions []uint64) {
+		t.Helper()
+		p := NewPartition(Schema{{Name: "v", Kind: KindInt64}})
+		for i := int64(0); i < 6; i++ {
+			p.AppendRow(Row{I64(i)})
+		}
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: DeleteRows(%v) did not panic", name, positions)
+			}
+		}()
+		p.DeleteRows(positions)
+	}
+	mustPanic("duplicate", []uint64{1, 1})
+	mustPanic("duplicate-run", []uint64{0, 2, 2, 4})
+	mustPanic("unsorted", []uint64{3, 1})
+
+	// The strict guard must not reject a valid delete.
+	p := NewPartition(Schema{{Name: "v", Kind: KindInt64}})
+	for i := int64(0); i < 6; i++ {
+		p.AppendRow(Row{I64(i)})
+	}
+	p.DeleteRows([]uint64{1, 3, 5})
+	if got := p.NumRows(); got != 3 {
+		t.Fatalf("rows after delete = %d, want 3", got)
+	}
+	for i, want := range []int64{0, 2, 4} {
+		if got := p.Column(0).Int64At(i); got != want {
+			t.Fatalf("row %d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+// TestRegistryRetainPartitions: a partition-scoped ref counts only the
+// named partition's generation as shared/retained, while still counting
+// as one live snapshot of the table.
+func TestRegistryRetainPartitions(t *testing.T) {
+	tb := registryTable(3)
+	ref := tb.RetainPartitions(1)
+	if tb.GenerationShared(0) || tb.GenerationShared(2) {
+		t.Fatal("partition-scoped ref marked a sibling generation shared")
+	}
+	if !tb.GenerationShared(1) || !tb.PartitionRetained(1) {
+		t.Fatal("partition-scoped ref did not mark its own generation")
+	}
+	if tb.PartitionRetained(0) || tb.PartitionRetained(2) {
+		t.Fatal("PartitionRetained leaked to siblings")
+	}
+	if got := tb.LiveSnapshotRefs(); got != 1 {
+		t.Fatalf("LiveSnapshotRefs = %d, want 1", got)
+	}
+	ref.Release()
+	ref.Release() // idempotent
+	if tb.PartitionRetained(1) || tb.LiveSnapshotRefs() != 0 {
+		t.Fatal("release did not drop the partition-scoped ref")
+	}
+}
+
+// TestExclusivePartitionGating: the partition-granular gate refuses
+// only the partition whose *current* generation a snapshot ref holds —
+// siblings reorder freely, refs on retired generations don't gate, pins
+// never gate, and the whole-table gate stays conservative.
+func TestExclusivePartitionGating(t *testing.T) {
+	tb := registryTable(3)
+	ran := func(err error) bool { return err == nil }
+	noop := func() error { return nil }
+
+	ref := tb.RetainPartitions(0)
+	if ran(tb.ExclusivePartition(0, noop)) {
+		t.Fatal("ExclusivePartition ran on a retained partition")
+	}
+	if !ran(tb.ExclusivePartition(1, noop)) || !ran(tb.ExclusivePartition(2, noop)) {
+		t.Fatal("ExclusivePartition refused an unretained sibling")
+	}
+	if ran(tb.Exclusive(noop)) {
+		t.Fatal("whole-table Exclusive ran with a live partition-scoped ref")
+	}
+
+	// A whole-table ref gates every partition...
+	all := tb.Retain()
+	if ran(tb.ExclusivePartition(1, noop)) {
+		t.Fatal("ExclusivePartition ran under a whole-table ref")
+	}
+	// ...until a generation swap retires the captured generation.
+	tb.SetPartition(1, tb.Partition(1).Clone())
+	if !ran(tb.ExclusivePartition(1, noop)) {
+		t.Fatal("ExclusivePartition refused a retired-generation ref")
+	}
+	if ran(tb.ExclusivePartition(0, noop)) {
+		t.Fatal("unswapped partition no longer gated")
+	}
+	all.Release()
+	ref.Release()
+
+	// Pins mark generations shared but never gate reorganization.
+	tb.Pin(2)
+	if !ran(tb.ExclusivePartition(2, noop)) || !ran(tb.Exclusive(noop)) {
+		t.Fatal("a pin gated physical reorganization")
+	}
+	if !tb.GenerationShared(2) {
+		t.Fatal("pin did not mark the generation shared")
+	}
+}

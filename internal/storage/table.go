@@ -2,7 +2,6 @@ package storage
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 )
 
@@ -57,14 +56,18 @@ func (p *Partition) SetValue(row, col int, v Value) {
 	p.minmax[col] = nil
 }
 
-// DeleteRows removes the rows at the given ascending positions from all
-// columns.
+// DeleteRows removes the rows at the given strictly ascending positions
+// from all columns. Duplicate positions are rejected like unsorted ones:
+// DeletePositions compacts by walking the sorted list once, so a
+// repeated position would silently drop the wrong trailing rows.
 func (p *Partition) DeleteRows(positions []uint64) {
 	if len(positions) == 0 {
 		return
 	}
-	if !sort.SliceIsSorted(positions, func(i, j int) bool { return positions[i] < positions[j] }) {
-		panic("storage: DeleteRows positions must be sorted ascending")
+	for i := 1; i < len(positions); i++ {
+		if positions[i] <= positions[i-1] {
+			panic("storage: DeleteRows positions must be strictly ascending (sorted, no duplicates)")
+		}
 	}
 	for _, c := range p.cols {
 		c.DeletePositions(positions)
@@ -132,12 +135,17 @@ func (p *Partition) Freeze() *Partition {
 //
 // Every partition slot carries a generation number, bumped each time
 // SetPartition publishes a replacement partition object. The snapshot
-// registry (Retain/Pin) refcounts exactly the generations a snapshot
-// captured, so writers can ask two cheap questions: "does any live
-// snapshot reference partition p's current backing arrays?"
-// (GenerationShared — decides clone-and-swap vs in-place mutation) and
-// "is any closable snapshot of this table still live?"
-// (LiveSnapshotRefs — gates in-place physical reorganization).
+// registry (Retain/RetainPartitions/Pin) refcounts exactly the
+// generations a snapshot captured — separately for closable snapshot
+// refs and permanent pins — so writers can ask three cheap questions:
+// "does any live snapshot or pin reference partition p's current
+// backing arrays?" (GenerationShared — decides clone-and-swap vs
+// in-place mutation), "is any closable snapshot of this table still
+// live?" (LiveSnapshotRefs — gates whole-table in-place physical
+// reorganization), and "does any closable snapshot reference exactly
+// partition p's current generation?" (PartitionRetained — gates
+// partition-granular reorganization, so a reorder of one partition can
+// proceed while a query drains a sibling).
 type Table struct {
 	Name   string
 	schema Schema
@@ -145,11 +153,19 @@ type Table struct {
 
 	// Snapshot registry. regMu is independent of any engine-level table
 	// lock: snapshot holders release their refs from reader goroutines
-	// without contending on the writer's lock.
-	regMu    sync.Mutex
-	gens     []uint64         // current generation per partition slot
-	refs     []map[uint64]int // per partition: generation -> refcount
-	liveRefs int              // unreleased TableRefs (Retain minus Release)
+	// without contending on the writer's locks. It also guards parts and
+	// gens, so SetPartition may race Retain/Pin/Release at the storage
+	// level; readers of a partition's *contents* still need the engine's
+	// partition lock (or exclusive ownership) to serialize with swaps.
+	regMu sync.Mutex
+	gens  []uint64 // current generation per partition slot
+	// snaps holds the closable snapshot refcounts (Retain), pins the
+	// permanent ones (Pin), both per partition: generation -> refcount.
+	// Only snaps gates physical reorganization; GenerationShared
+	// consults both.
+	snaps    []map[uint64]int
+	pins     []map[uint64]int
+	liveRefs int // unreleased TableRefs (Retain minus Release)
 }
 
 // NewTable returns a table with numPartitions empty partitions.
@@ -162,7 +178,8 @@ func NewTable(name string, schema Schema, numPartitions int) *Table {
 		t.parts = append(t.parts, NewPartition(schema))
 	}
 	t.gens = make([]uint64, numPartitions)
-	t.refs = make([]map[uint64]int, numPartitions)
+	t.snaps = make([]map[uint64]int, numPartitions)
+	t.pins = make([]map[uint64]int, numPartitions)
 	return t
 }
 
@@ -178,15 +195,17 @@ func (t *Table) Partition(i int) *Partition { return t.parts[i] }
 // SetPartition atomically publishes a new generation of partition i.
 // The old partition object is left untouched, so snapshot views that
 // froze it remain valid; its generation number stays referenced in the
-// registry until the last snapshot holding it releases. Callers must
-// serialize SetPartition with other table mutations (the engine holds
-// the table lock).
+// registry until the last snapshot holding it releases. The swap itself
+// runs under the registry lock, so it may race Retain/Pin/Release and
+// SetPartition on *other* partitions; callers must still serialize it
+// with mutations of the same partition (the engine holds the partition
+// lock).
 func (t *Table) SetPartition(i int, p *Partition) {
 	if len(p.schema) != len(t.schema) {
 		panic(fmt.Sprintf("storage: SetPartition schema mismatch on table %q", t.Name))
 	}
-	t.parts[i] = p
 	t.regMu.Lock()
+	t.parts[i] = p
 	t.gens[i]++
 	t.regMu.Unlock()
 }
@@ -199,31 +218,53 @@ func (t *Table) Generation(i int) uint64 {
 }
 
 // TableRef is one snapshot's hold on the table: one refcount on the
-// exact generation of every partition at Retain time. Release drops the
-// refcounts; it is idempotent, so the "released exactly once" invariant
-// holds even when a query-end hook and an explicit Close both fire.
+// exact generation of every retained partition at Retain time. Release
+// drops the refcounts; it is idempotent, so the "released exactly once"
+// invariant holds even when a query-end hook and an explicit Close both
+// fire.
 type TableRef struct {
 	t        *Table
-	gens     []uint64
+	parts    []int    // retained partition slots
+	gens     []uint64 // generation of parts[i] at retain time
 	released bool
 }
 
 // Retain registers a snapshot: the current generation of every
 // partition gets one refcount, and the table's live-snapshot count
-// rises until the returned ref is released. Callers must serialize
-// Retain with SetPartition (the engine captures under the table lock).
+// rises until the returned ref is released. The registration itself is
+// atomic under the registry lock; capturing a *consistent* set of
+// partition contents additionally requires the engine's partition
+// locks (the engine captures with all of them held).
 func (t *Table) Retain() *TableRef {
+	all := make([]int, len(t.parts))
+	for i := range all {
+		all[i] = i
+	}
+	return t.RetainPartitions(all...)
+}
+
+// RetainPartitions registers a snapshot of just the given partition
+// slots: only their current generations get a refcount, so a
+// checkpoint or partition-granular reorganization of any *other*
+// partition owes the ref nothing. The ref still counts as one live
+// snapshot of the table (whole-table reorganization stays refused).
+func (t *Table) RetainPartitions(parts ...int) *TableRef {
+	if len(parts) == 0 {
+		panic("storage: RetainPartitions needs at least one partition")
+	}
 	t.regMu.Lock()
 	defer t.regMu.Unlock()
-	gens := append([]uint64(nil), t.gens...)
-	for p, g := range gens {
-		if t.refs[p] == nil {
-			t.refs[p] = make(map[uint64]int, 1)
+	ps := append([]int(nil), parts...)
+	gens := make([]uint64, len(ps))
+	for i, p := range ps {
+		gens[i] = t.gens[p]
+		if t.snaps[p] == nil {
+			t.snaps[p] = make(map[uint64]int, 1)
 		}
-		t.refs[p][g]++
+		t.snaps[p][gens[i]]++
 	}
 	t.liveRefs++
-	return &TableRef{t: t, gens: gens}
+	return &TableRef{t: t, parts: ps, gens: gens}
 }
 
 // Release drops the ref's generation refcounts (idempotent, safe on a
@@ -239,11 +280,12 @@ func (r *TableRef) Release() {
 		return
 	}
 	r.released = true
-	for p, g := range r.gens {
-		if n := t.refs[p][g]; n <= 1 {
-			delete(t.refs[p], g)
+	for i, p := range r.parts {
+		g := r.gens[i]
+		if n := t.snaps[p][g]; n <= 1 {
+			delete(t.snaps[p], g)
 		} else {
-			t.refs[p][g] = n - 1
+			t.snaps[p][g] = n - 1
 		}
 	}
 	t.liveRefs--
@@ -259,10 +301,10 @@ func (r *TableRef) Release() {
 func (t *Table) Pin(i int) {
 	t.regMu.Lock()
 	defer t.regMu.Unlock()
-	if t.refs[i] == nil {
-		t.refs[i] = make(map[uint64]int, 1)
+	if t.pins[i] == nil {
+		t.pins[i] = make(map[uint64]int, 1)
 	}
-	t.refs[i][t.gens[i]]++
+	t.pins[i][t.gens[i]]++
 }
 
 // GenerationShared reports whether partition i's current generation is
@@ -271,29 +313,61 @@ func (t *Table) Pin(i int) {
 func (t *Table) GenerationShared(i int) bool {
 	t.regMu.Lock()
 	defer t.regMu.Unlock()
-	return t.refs[i][t.gens[i]] > 0
+	return t.snaps[i][t.gens[i]] > 0 || t.pins[i][t.gens[i]] > 0
 }
 
 // LiveSnapshotRefs returns the number of retained, not-yet-released
-// snapshot refs. Physical in-place reorganization must refuse while it
-// is non-zero; use Exclusive to make the check atomic with the work.
+// snapshot refs (partition-scoped refs included). Whole-table in-place
+// reorganization must refuse while it is non-zero; use Exclusive to
+// make the check atomic with the work.
 func (t *Table) LiveSnapshotRefs() int {
 	t.regMu.Lock()
 	defer t.regMu.Unlock()
 	return t.liveRefs
 }
 
+// PartitionRetained reports whether any closable snapshot ref holds
+// partition i's *current* generation. Refs on retired generations of i
+// read from the old partition object and are unaffected by an in-place
+// reorganization of the current one, so they do not gate it; neither do
+// pins (which never gated reorganization — the documented trade-off of
+// the unclosable view surfaces). Partition-granular reorganization must
+// refuse while this is true; use ExclusivePartition to make the check
+// atomic with the work.
+func (t *Table) PartitionRetained(i int) bool {
+	t.regMu.Lock()
+	defer t.regMu.Unlock()
+	return t.snaps[i][t.gens[i]] > 0
+}
+
 // Exclusive runs fn only if no snapshot ref is live, holding the
 // registry lock throughout so no new ref can be retained mid-fn — the
 // storage-level equivalent of the engine's ExclusiveStorage guard, for
-// raw in-place reorganization (sortkey.Create on a table the caller
-// owns). A concurrent Retain blocks until fn returns and then captures
-// the reorganized state; fn must not touch the registry itself.
+// raw whole-table in-place reorganization (sortkey.Create on a table
+// the caller owns). A concurrent Retain blocks until fn returns and
+// then captures the reorganized state; fn must not touch the registry
+// itself.
 func (t *Table) Exclusive(fn func() error) error {
 	t.regMu.Lock()
 	defer t.regMu.Unlock()
 	if t.liveRefs > 0 {
 		return fmt.Errorf("storage: table %q has %d live snapshot ref(s); close/drain them before in-place reorganization", t.Name, t.liveRefs)
+	}
+	return fn()
+}
+
+// ExclusivePartition runs fn only if no closable snapshot ref holds
+// partition i's current generation, holding the registry lock
+// throughout so no new ref can be retained mid-fn — the
+// partition-granular form of Exclusive, for in-place reorganization of
+// one partition (sortkey rebuilds of a single partition) while sibling
+// partitions keep serving snapshot readers. fn must not touch the
+// registry itself.
+func (t *Table) ExclusivePartition(i int, fn func() error) error {
+	t.regMu.Lock()
+	defer t.regMu.Unlock()
+	if n := t.snaps[i][t.gens[i]]; n > 0 {
+		return fmt.Errorf("storage: partition %d of table %q has %d live snapshot ref(s) on its current generation; close/drain them before in-place reorganization", i, t.Name, n)
 	}
 	return fn()
 }
