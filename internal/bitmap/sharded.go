@@ -293,6 +293,42 @@ func (s *Sharded) AppendSel(lo, hi uint64, invert bool, sel []int32) []int32 {
 	return sel
 }
 
+// SetSorted sets the bits at the given ascending logical positions and
+// returns how many were newly set (previously clear). Duplicate
+// positions are allowed (set once); descending ones panic. Consecutive
+// positions that fall into the same shard are located once — the bulk
+// form of Set used by PatchIndex patch merging, where insert and modify
+// handling publish whole sorted rowID batches at a time.
+func (s *Sharded) SetSorted(positions []uint64) (newlySet uint64) {
+	var (
+		words   []uint64
+		sh      uint64
+		shardLo uint64 // first logical position of the located shard
+		shardHi uint64 // one past its last live logical position
+		haveLoc bool
+	)
+	for i, pos := range positions {
+		if i > 0 && pos < positions[i-1] {
+			panic("bitmap: SetSorted positions must be ascending")
+		}
+		if !haveLoc || pos >= shardHi {
+			var off uint64
+			sh, off = s.locate(pos)
+			words = s.mutableShard(sh)
+			shardLo = pos - off
+			shardHi = s.starts[sh] + s.liveBits(sh)
+			haveLoc = true
+		}
+		off := pos - shardLo
+		w, b := off>>logWord, uint64(1)<<(off&wordMask)
+		if words[w]&b == 0 {
+			words[w] |= b
+			newlySet++
+		}
+	}
+	return newlySet
+}
+
 // SetBits returns the logical positions of all set bits in ascending order.
 func (s *Sharded) SetBits() []uint64 {
 	out := make([]uint64, 0, s.Count())

@@ -4,10 +4,14 @@
 // exceptions to approximate constraints caused by update operations" —
 // the engine consults a per-partition filter of column values to skip
 // the NUC insert-handling join entirely when none of the inserted values
-// can collide with the table.
+// can collide with the table, and probes per-partition filters for
+// cross-partition collision candidates on the parallel insert path.
 package bloom
 
-import "math"
+import (
+	"math"
+	"sync/atomic"
+)
 
 // Filter is a standard Bloom filter with k hash functions derived from
 // one 64-bit mix (Kirsch-Mitzenmacher double hashing). Values are only
@@ -81,8 +85,48 @@ func (f *Filter) MayContain(v int64) bool {
 	return true
 }
 
-// Added returns the number of Add calls.
-func (f *Filter) Added() uint64 { return f.n }
+// AddConcurrent inserts v with atomic word updates, safe against
+// concurrent AddConcurrent and MayContainConcurrent calls. A concurrent
+// reader may observe the value partially added (some bits set) and
+// report false for it; callers that must not miss in-flight values need
+// an external ordering protocol (the engine's insert gate provides one:
+// adds complete before the adder deregisters, probes start after the
+// prober registers).
+func (f *Filter) AddConcurrent(v int64) {
+	h1 := mix64(uint64(v))
+	h2 := mix64(h1 ^ 0x9e3779b97f4a7c15)
+	for i := uint64(0); i < f.k; i++ {
+		pos := (h1 + i*h2) % f.m
+		w, bit := &f.bits[pos/64], uint64(1)<<(pos%64)
+		for {
+			old := atomic.LoadUint64(w)
+			if old&bit != 0 || atomic.CompareAndSwapUint64(w, old, old|bit) {
+				break
+			}
+		}
+	}
+	atomic.AddUint64(&f.n, 1)
+}
+
+// MayContainConcurrent is MayContain with atomic word reads, safe
+// against concurrent AddConcurrent calls. Like MayContain it can return
+// false positives; against in-flight concurrent adds it can also miss —
+// see AddConcurrent for the ordering contract that rules that out.
+func (f *Filter) MayContainConcurrent(v int64) bool {
+	h1 := mix64(uint64(v))
+	h2 := mix64(h1 ^ 0x9e3779b97f4a7c15)
+	for i := uint64(0); i < f.k; i++ {
+		pos := (h1 + i*h2) % f.m
+		if atomic.LoadUint64(&f.bits[pos/64])&(1<<(pos%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Added returns the number of Add calls. Concurrent with AddConcurrent
+// it is a snapshot (atomic read).
+func (f *Filter) Added() uint64 { return atomic.LoadUint64(&f.n) }
 
 // SizeBytes returns the filter's bit-array size.
 func (f *Filter) SizeBytes() uint64 { return uint64(len(f.bits)) * 8 }

@@ -1,0 +1,356 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"patchindex/internal/bloom"
+)
+
+// Sharded NUC collision state. The paper makes uniqueness a GLOBAL
+// property with per-partition exceptions (Section 5.1), which forces the
+// insert-handling collision join to probe every partition — the last
+// per-table serialization point on the update path. NUCState shards
+// that collision knowledge by partition so an insert into partition p
+// can usually decide "does this value collide?" from p-local state plus
+// two read-only global digests:
+//
+//   - localInt/localStr[p]: value → occurrence count within partition p.
+//     Owned by whoever owns partition p under the engine's locking
+//     protocol (partition lock, or the exclusive structure lock). A
+//     local hit means the collision is entirely p-local: the existing
+//     occurrences and the new tuple all become patches of partition p's
+//     index.
+//   - sealed: an immutable snapshot of the global exception set — the
+//     values once found duplicated, for which the engine maintains the
+//     invariant that every LIVE occurrence is a patch: discovery and
+//     collision handling patch all occurrences at sealing time, patch
+//     marks are never removed from surviving rows, and the engine's
+//     exclusive insert/modify paths force-patch any fresh occurrence
+//     of a sealed value (deletes may have eroded the value back to
+//     uniqueness, so the collision join alone would leave it
+//     unpatched). Colliding with a sealed value therefore needs no
+//     cross-partition write: only the NEW tuple becomes a patch,
+//     locally. The snapshot is swapped copy-on-write and read
+//     lock-free through an atomic pointer.
+//   - blooms[p]: an add-only Bloom filter over partition p's values.
+//     Probing the filters of the OTHER partitions answers "may this
+//     value exist elsewhere as a unique occurrence?" — a hit is a
+//     cross-partition candidate collision, on which the caller falls
+//     back to the exclusive-lock collision join. False positives cost a
+//     redundant fallback; false negatives cannot occur (the filter only
+//     ever grows), so no violation is missed.
+//
+// Synchronization is the caller's job and mirrors the engine's insert
+// protocol: local maps follow partition ownership; sealed-set swaps and
+// bloom mutations happen only in contexts that exclude concurrent
+// probers (the exclusive structure lock, or the shared lock plus the
+// insert gate); Sealed() alone is safe from anywhere.
+type NUCState struct {
+	localInt []map[int64]uint32
+	localStr []map[string]uint32
+	isString bool
+
+	blooms   []*bloom.Filter
+	bloomCap []int // expected-element sizing of blooms[p] at last (re)build
+
+	sealed atomic.Pointer[NUCExceptions]
+}
+
+// NUCExceptions is one immutable snapshot of the sealed global exception
+// set. It is never mutated after publication; NUCState swaps in a fresh
+// copy to grow it.
+type NUCExceptions struct {
+	ints map[int64]struct{}
+	strs map[string]struct{}
+}
+
+// ContainsInt64 reports whether v is a sealed duplicated value.
+func (e *NUCExceptions) ContainsInt64(v int64) bool {
+	_, ok := e.ints[v]
+	return ok
+}
+
+// ContainsString reports whether v is a sealed duplicated value.
+func (e *NUCExceptions) ContainsString(v string) bool {
+	_, ok := e.strs[v]
+	return ok
+}
+
+// Len returns the number of sealed duplicated values.
+func (e *NUCExceptions) Len() int { return len(e.ints) + len(e.strs) }
+
+// hashString folds a string value into the int64 key space of the Bloom
+// filters (inline FNV-1a — the hasher object and []byte conversion of
+// the stdlib version would allocate twice per probe on the lock-free
+// hot path). Collisions only produce false positives (redundant
+// fallbacks), never missed violations.
+func hashString(v string) int64 {
+	h := uint64(14695981039346656037) // FNV-1a offset basis
+	for i := 0; i < len(v); i++ {
+		h ^= uint64(v[i])
+		h *= 1099511628211 // FNV-1a prime
+	}
+	return int64(h)
+}
+
+// bloomFor sizes a fresh partition filter: four times the live value
+// count, floored so small partitions leave growth headroom. The target
+// false-positive rate is far tighter than the user-facing join-skip
+// filters' 1% because a batch probes every foreign partition for every
+// inserted value — at 1% a 64-row batch would fall back almost always,
+// while at ~24 bits/value (still a fraction of the count maps' memory)
+// the per-batch fallback probability stays in the low percents even at
+// full load and becomes negligible right after a rebuild. The 4x
+// headroom halves the number of saturation→rebuild cycles an insert
+// stream goes through relative to 2x.
+func bloomFor(n int) (*bloom.Filter, int) {
+	capn := 4 * n
+	if capn < 1024 {
+		capn = 1024
+	}
+	return bloom.New(capn, 1e-5), capn
+}
+
+// NewNUCStateInt64 builds the collision state of an int64 column from
+// its per-partition value counts (as produced by CountNUCValuesInt64 —
+// index discovery and state construction share the counting pass).
+func NewNUCStateInt64(counts []map[int64]uint32) *NUCState {
+	st := &NUCState{
+		localInt: make([]map[int64]uint32, len(counts)),
+		blooms:   make([]*bloom.Filter, len(counts)),
+		bloomCap: make([]int, len(counts)),
+	}
+	for p, c := range counts {
+		cp := make(map[int64]uint32, len(c))
+		var n int
+		for v, k := range c {
+			cp[v] = k
+			n += int(k)
+		}
+		st.localInt[p] = cp
+		st.blooms[p], st.bloomCap[p] = bloomFor(n)
+		for v := range cp {
+			st.blooms[p].Add(v)
+		}
+	}
+	st.sealed.Store(&NUCExceptions{ints: MergeNUCDuplicatesInt64(counts)})
+	return st
+}
+
+// NewNUCStateString is NewNUCStateInt64 for string columns.
+func NewNUCStateString(counts []map[string]uint32) *NUCState {
+	st := &NUCState{
+		localStr: make([]map[string]uint32, len(counts)),
+		isString: true,
+		blooms:   make([]*bloom.Filter, len(counts)),
+		bloomCap: make([]int, len(counts)),
+	}
+	for p, c := range counts {
+		cp := make(map[string]uint32, len(c))
+		var n int
+		for v, k := range c {
+			cp[v] = k
+			n += int(k)
+		}
+		st.localStr[p] = cp
+		st.blooms[p], st.bloomCap[p] = bloomFor(n)
+		for v := range cp {
+			st.blooms[p].Add(hashString(v))
+		}
+	}
+	st.sealed.Store(&NUCExceptions{strs: MergeNUCDuplicatesString(counts)})
+	return st
+}
+
+// NumPartitions returns the partition count the state is sharded over.
+func (st *NUCState) NumPartitions() int { return len(st.blooms) }
+
+// IsString reports whether the state tracks a string column.
+func (st *NUCState) IsString() bool { return st.isString }
+
+// Sealed returns the current immutable exception-set snapshot. Safe to
+// call from any context; the snapshot stays valid (and conservatively
+// correct) forever.
+func (st *NUCState) Sealed() *NUCExceptions { return st.sealed.Load() }
+
+// LocalCountInt64 returns partition p's occurrence count of v. The
+// caller owns partition p.
+func (st *NUCState) LocalCountInt64(p int, v int64) uint32 { return st.localInt[p][v] }
+
+// LocalCountString is LocalCountInt64 for string columns.
+func (st *NUCState) LocalCountString(p int, v string) uint32 { return st.localStr[p][v] }
+
+// AddLocalInt64 records one inserted occurrence of v in partition p. The
+// caller owns partition p.
+func (st *NUCState) AddLocalInt64(p int, v int64) { st.localInt[p][v]++ }
+
+// AddLocalString is AddLocalInt64 for string columns.
+func (st *NUCState) AddLocalString(p int, v string) { st.localStr[p][v]++ }
+
+// RemoveLocalInt64 records one deleted (or modified-away) occurrence of
+// v in partition p, dropping the entry at zero so bloom rebuilds see
+// only live values. The caller owns partition p.
+func (st *NUCState) RemoveLocalInt64(p int, v int64) {
+	if n := st.localInt[p][v]; n <= 1 {
+		delete(st.localInt[p], v)
+	} else {
+		st.localInt[p][v] = n - 1
+	}
+}
+
+// RemoveLocalString is RemoveLocalInt64 for string columns.
+func (st *NUCState) RemoveLocalString(p int, v string) {
+	if n := st.localStr[p][v]; n <= 1 {
+		delete(st.localStr[p], v)
+	} else {
+		st.localStr[p][v] = n - 1
+	}
+}
+
+// GlobalCountInt64 sums v's occurrence count across all partitions. The
+// caller owns every partition (exclusive-lock contexts).
+func (st *NUCState) GlobalCountInt64(v int64) uint64 {
+	var n uint64
+	for p := range st.localInt {
+		n += uint64(st.localInt[p][v])
+	}
+	return n
+}
+
+// GlobalCountString is GlobalCountInt64 for string columns.
+func (st *NUCState) GlobalCountString(v string) uint64 {
+	var n uint64
+	for p := range st.localStr {
+		n += uint64(st.localStr[p][v])
+	}
+	return n
+}
+
+// PartitionMayContainInt64 probes partition q's Bloom filter for v with
+// a lock-free atomic read. A false answer is definitive for values
+// whose adds happened-before the probe; for adds racing the probe, the
+// insert protocol's pre-publication ordering (add your own values
+// before probing for foreign ones — sync/atomic's sequential
+// consistency forbids two racing batches from both missing each other)
+// supplies the guarantee.
+func (st *NUCState) PartitionMayContainInt64(q int, v int64) bool {
+	return st.blooms[q].MayContainConcurrent(v)
+}
+
+// PartitionMayContainString is PartitionMayContainInt64 for string
+// columns.
+func (st *NUCState) PartitionMayContainString(q int, v string) bool {
+	return st.blooms[q].MayContainConcurrent(hashString(v))
+}
+
+// ForeignMayContainInt64 probes the Bloom filters of every partition
+// except p for v: true means v may exist in another partition — a
+// cross-partition candidate collision.
+func (st *NUCState) ForeignMayContainInt64(p int, v int64) bool {
+	for q, f := range st.blooms {
+		if q != p && f.MayContainConcurrent(v) {
+			return true
+		}
+	}
+	return false
+}
+
+// ForeignMayContainString is ForeignMayContainInt64 for string columns.
+func (st *NUCState) ForeignMayContainString(p int, v string) bool {
+	h := hashString(v)
+	for q, f := range st.blooms {
+		if q != p && f.MayContainConcurrent(h) {
+			return true
+		}
+	}
+	return false
+}
+
+// AddBloomInt64 registers an inserted occurrence of v in partition p's
+// filter, with atomic word updates — safe concurrently with probes and
+// with other adders.
+func (st *NUCState) AddBloomInt64(p int, v int64) { st.blooms[p].AddConcurrent(v) }
+
+// AddBloomString is AddBloomInt64 for string columns.
+func (st *NUCState) AddBloomString(p int, v string) { st.blooms[p].AddConcurrent(hashString(v)) }
+
+// SealDuplicatesInt64 publishes newly duplicated values into a fresh
+// exception-set snapshot. The swap is a compare-and-swap loop, so
+// concurrent sealers (parallel insert batches publishing at once)
+// compose without a lock and without losing each other's values;
+// concurrent Sealed() readers keep their older, still-correct snapshot.
+func (st *NUCState) SealDuplicatesInt64(vals []int64) {
+	if len(vals) == 0 {
+		return
+	}
+	for {
+		old := st.sealed.Load()
+		next := make(map[int64]struct{}, len(old.ints)+len(vals))
+		for v := range old.ints {
+			next[v] = struct{}{}
+		}
+		for _, v := range vals {
+			next[v] = struct{}{}
+		}
+		if st.sealed.CompareAndSwap(old, &NUCExceptions{ints: next, strs: old.strs}) {
+			return
+		}
+	}
+}
+
+// SealDuplicatesString is SealDuplicatesInt64 for string columns.
+func (st *NUCState) SealDuplicatesString(vals []string) {
+	if len(vals) == 0 {
+		return
+	}
+	for {
+		old := st.sealed.Load()
+		next := make(map[string]struct{}, len(old.strs)+len(vals))
+		for v := range old.strs {
+			next[v] = struct{}{}
+		}
+		for _, v := range vals {
+			next[v] = struct{}{}
+		}
+		if st.sealed.CompareAndSwap(old, &NUCExceptions{ints: old.ints, strs: next}) {
+			return
+		}
+	}
+}
+
+// RebuildOverfullBlooms rebuilds every partition filter whose add count
+// outgrew its sizing, from the live value set of the local maps. Safe
+// only where the caller owns EVERY partition (the exclusive structure
+// lock): local maps of all partitions are read. Fast-path publication
+// cannot rebuild (it owns no partition), so a saturated filter degrades
+// into fallbacks until the next exclusive-lock insert heals it — the
+// fallback itself runs under the exclusive lock and calls this, making
+// the degradation self-limiting.
+func (st *NUCState) RebuildOverfullBlooms() {
+	for p, f := range st.blooms {
+		if int(f.Added()) <= st.bloomCap[p] {
+			continue
+		}
+		var n int
+		if st.isString {
+			for _, k := range st.localStr[p] {
+				n += int(k)
+			}
+		} else {
+			for _, k := range st.localInt[p] {
+				n += int(k)
+			}
+		}
+		nf, capn := bloomFor(n)
+		if st.isString {
+			for v := range st.localStr[p] {
+				nf.Add(hashString(v))
+			}
+		} else {
+			for v := range st.localInt[p] {
+				nf.Add(v)
+			}
+		}
+		st.blooms[p], st.bloomCap[p] = nf, capn
+	}
+}

@@ -43,44 +43,123 @@ func DiscoverNUCString(vals []string) []uint64 {
 	return out
 }
 
-// GlobalNUCPatchesInt64 computes per-partition NUC patch sets with
-// GLOBAL duplicate detection: a value held by tuples in two different
+// Global NUC discovery is split into three partition-shardable pieces —
+// per-partition value counting, a merge of the counts into the set of
+// globally duplicated values, and per-partition patch extraction against
+// that set — so the engine can share the counting work between index
+// discovery and the sharded collision state (NUCState) that backs its
+// partition-parallel insert path.
+
+// CountNUCValuesInt64 returns one partition's value → occurrence count
+// map, the partition-local piece of global NUC discovery. Counting is
+// independent per partition, so callers may run it in parallel and merge
+// the results with MergeNUCDuplicatesInt64.
+func CountNUCValuesInt64(vals []int64) map[int64]uint32 {
+	counts := make(map[int64]uint32, len(vals))
+	for _, v := range vals {
+		counts[v]++
+	}
+	return counts
+}
+
+// CountNUCValuesString is CountNUCValuesInt64 for string columns.
+func CountNUCValuesString(vals []string) map[string]uint32 {
+	counts := make(map[string]uint32, len(vals))
+	for _, v := range vals {
+		counts[v]++
+	}
+	return counts
+}
+
+// MergeNUCDuplicatesInt64 merges per-partition value counts into the set
+// of globally duplicated values: a value held by tuples in two different
 // partitions violates uniqueness even though each partition is locally
-// unique. The uniqueness constraint "relies on a global view of the
-// table" (Section 5.1); only the patch storage is partition-local.
-func GlobalNUCPatchesInt64(parts [][]int64) [][]uint64 {
-	counts := make(map[int64]uint32)
-	for _, vals := range parts {
-		for _, v := range vals {
-			counts[v]++
+// unique ("relies on a global view of the table", Section 5.1).
+func MergeNUCDuplicatesInt64(counts []map[int64]uint32) map[int64]struct{} {
+	total := make(map[int64]uint32)
+	for _, c := range counts {
+		for v, n := range c {
+			total[v] += n
 		}
 	}
+	dup := make(map[int64]struct{})
+	for v, n := range total {
+		if n > 1 {
+			dup[v] = struct{}{}
+		}
+	}
+	return dup
+}
+
+// MergeNUCDuplicatesString is MergeNUCDuplicatesInt64 for string columns.
+func MergeNUCDuplicatesString(counts []map[string]uint32) map[string]struct{} {
+	total := make(map[string]uint32)
+	for _, c := range counts {
+		for v, n := range c {
+			total[v] += n
+		}
+	}
+	dup := make(map[string]struct{})
+	for v, n := range total {
+		if n > 1 {
+			dup[v] = struct{}{}
+		}
+	}
+	return dup
+}
+
+// NUCPatchSetInt64 extracts one partition's sorted patch set given the
+// globally duplicated values: the rowIDs of ALL occurrences of values in
+// dup (see the NearlyUnique doc for why all occurrences are kept).
+// Extraction is partition-local and parallelizable.
+func NUCPatchSetInt64(vals []int64, dup map[int64]struct{}) []uint64 {
+	var out []uint64
+	for i, v := range vals {
+		if _, ok := dup[v]; ok {
+			out = append(out, uint64(i))
+		}
+	}
+	return out
+}
+
+// NUCPatchSetString is NUCPatchSetInt64 for string columns.
+func NUCPatchSetString(vals []string, dup map[string]struct{}) []uint64 {
+	var out []uint64
+	for i, v := range vals {
+		if _, ok := dup[v]; ok {
+			out = append(out, uint64(i))
+		}
+	}
+	return out
+}
+
+// GlobalNUCPatchesInt64 computes per-partition NUC patch sets with
+// GLOBAL duplicate detection, composing the three shardable pieces:
+// count per partition, merge into the duplicate set, extract per
+// partition. Only the patch storage is partition-local.
+func GlobalNUCPatchesInt64(parts [][]int64) [][]uint64 {
+	counts := make([]map[int64]uint32, len(parts))
+	for p, vals := range parts {
+		counts[p] = CountNUCValuesInt64(vals)
+	}
+	dup := MergeNUCDuplicatesInt64(counts)
 	out := make([][]uint64, len(parts))
 	for p, vals := range parts {
-		for i, v := range vals {
-			if counts[v] > 1 {
-				out[p] = append(out[p], uint64(i))
-			}
-		}
+		out[p] = NUCPatchSetInt64(vals, dup)
 	}
 	return out
 }
 
 // GlobalNUCPatchesString is GlobalNUCPatchesInt64 for string columns.
 func GlobalNUCPatchesString(parts [][]string) [][]uint64 {
-	counts := make(map[string]uint32)
-	for _, vals := range parts {
-		for _, v := range vals {
-			counts[v]++
-		}
+	counts := make([]map[string]uint32, len(parts))
+	for p, vals := range parts {
+		counts[p] = CountNUCValuesString(vals)
 	}
+	dup := MergeNUCDuplicatesString(counts)
 	out := make([][]uint64, len(parts))
 	for p, vals := range parts {
-		for i, v := range vals {
-			if counts[v] > 1 {
-				out[p] = append(out[p], uint64(i))
-			}
-		}
+		out[p] = NUCPatchSetString(vals, dup)
 	}
 	return out
 }

@@ -221,20 +221,18 @@ func (x *Index) SetLastSortedValue(v int64) {
 // Descending reports whether a NSC index maintains descending order.
 func (x *Index) Descending() bool { return x.opts.Descending }
 
-// AddPatches marks the given sorted, distinct rowIDs as exceptions. It is
-// the "merge the results with the existing patches" step of insert and
-// modify handling. RowIDs already marked are ignored.
+// AddPatches marks the given sorted rowIDs as exceptions. It is the
+// "merge the results with the existing patches" step of insert and
+// modify handling. RowIDs already marked are ignored, and duplicates
+// within rowIDs are set once — the collision join legitimately emits a
+// rowID once per match pair (one inserted value colliding with several
+// table rows, or vice versa).
 func (x *Index) AddPatches(rowIDs []uint64) {
 	if len(rowIDs) == 0 {
 		return
 	}
 	if x.opts.Design == DesignBitmap {
-		for _, r := range rowIDs {
-			if !x.bm.Get(r) {
-				x.bm.Set(r)
-				x.np++
-			}
-		}
+		x.np += x.bm.SetSorted(rowIDs)
 		return
 	}
 	merged := make([]uint64, 0, len(x.ids)+len(rowIDs))
@@ -245,7 +243,9 @@ func (x *Index) AddPatches(rowIDs []uint64) {
 			merged = append(merged, x.ids[i])
 			i++
 		case i >= len(x.ids) || x.ids[i] > rowIDs[j]:
-			merged = append(merged, rowIDs[j])
+			if n := len(merged); n == 0 || merged[n-1] != rowIDs[j] {
+				merged = append(merged, rowIDs[j])
+			}
 			j++
 		default: // equal: keep once
 			merged = append(merged, x.ids[i])

@@ -23,6 +23,7 @@ import (
 //
 //	rows=65536    cow=shard ~flat   cow=fullclone ~1x
 //	rows=1048576  cow=shard ~flat   cow=fullclone ~16x
+//
 // BenchmarkDeleteCheckpointUnderQueryStream measures what a delete
 // checkpoint costs in a steady query+delete workload. Each iteration
 // runs one full query (drained, so its ephemeral snapshot releases its

@@ -53,13 +53,15 @@
 //
 //   - structure write lock alone: table-wide operations that mutate
 //     shared table state — DDL (CreatePatchIndex, DropPatchIndex, Load),
-//     Bloom filter management, and any update whose index maintenance
-//     needs a global view (inserts, and modifies of NUC-indexed
-//     columns, whose collision join probes every partition).
+//     Bloom filter management, and updates whose index maintenance
+//     needs a global table view: Insert and NUC-column Modify (their
+//     collision join probes every partition), and the fallback of the
+//     partition-parallel insert path.
 //   - structure read lock + one partition lock: partition-scoped
-//     updates — DeleteRowIDs, and Modify of columns without a NUC
-//     index — including their per-partition checkpoint. Updates to
-//     disjoint partitions run concurrently.
+//     updates — DeleteRowIDs, Modify of columns without a NUC index,
+//     and each partition chunk of a batched insert (InsertRows,
+//     InsertRowsPartition) — including their per-partition checkpoint.
+//     Updates to disjoint partitions run concurrently.
 //   - structure read lock + ALL partition locks in index order:
 //     multi-partition reads that must observe one consistent table
 //     state — snapshot capture, Checkpoint, NumRows, PatchIndexes.
@@ -72,11 +74,35 @@
 // mutex. Holding the structure write lock implies exclusive access to
 // every partition (it excludes all read-lock holders), so write-locked
 // paths never touch the partition mutexes.
+//
+// # Partition-parallel inserts and the sharded NUC collision state
+//
+// Insert handling of a NUC-indexed column is the one update whose
+// maintenance is inherently global — uniqueness has per-partition
+// exceptions but table-wide meaning, so the paper's Fig. 5 collision
+// join probes every partition, which is why Insert serializes on the
+// structure lock. InsertRows/InsertRowsPartition remove that last
+// per-table serialization point for the common case: each NUC column
+// carries a core.NUCState that shards the collision knowledge — exact
+// per-partition value counts owned by the partition locks, an immutable
+// sealed set of known-duplicated values read lock-free, and
+// per-partition Bloom filters probed and updated with lock-free atomics
+// under an optimistic pre-publication ordering (add your own values,
+// then probe the foreign filters; sequentially consistent atomics stop
+// two racing batches from both missing each other). A batch that stays
+// classifiable locally commits chunk by chunk in partition-lock mode; a
+// cross-partition candidate collision falls back to the exclusive lock,
+// which re-checks exactly against the count maps and only joins when
+// the collision is real. A concurrent snapshot observes a prefix of a
+// multi-partition batch's chunks (each chunk atomically); Insert and
+// single-partition batches remain all-or-nothing. See insert.go for the
+// full protocol.
 package engine
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"patchindex/internal/bloom"
 	"patchindex/internal/core"
@@ -88,11 +114,15 @@ import (
 // Database is a named collection of tables. All DDL/DML entry points
 // are safe for concurrent use. Updates lock at partition granularity:
 // partition-scoped updates (DeleteRowIDs, Modify of a column without a
-// NUC index) take only their target partition's lock, so updates to
-// disjoint partitions of the same table run in parallel; table-wide
-// updates (Insert, Modify of a NUC-indexed column — their index
-// maintenance joins against every partition) and DDL serialize on the
-// table's structure lock.
+// NUC index, and each partition chunk of an InsertRows /
+// InsertRowsPartition batch) take only their target partition's lock,
+// so updates to disjoint partitions of the same table run in parallel —
+// including inserts into NUC-indexed tables, whose collision handling
+// probes sharded per-partition state instead of joining globally and
+// falls back to the exclusive-lock join only on cross-partition
+// candidate collisions. Table-wide updates (Insert, Modify of a
+// NUC-indexed column — their index maintenance joins against every
+// partition) and DDL serialize on the table's structure lock.
 //
 // Queries are snapshot-isolated from updates (the MVCC-lite analogue of
 // the host system's snapshot isolation the paper assumes, Section 5.4):
@@ -104,7 +134,10 @@ import (
 // generations of whatever the snapshot references (delta, patch
 // bitmaps, and — for delete/modify checkpoints — base partitions), so
 // every query observes exactly the table state at capture time: either
-// entirely before or entirely after any concurrent update query. The
+// entirely before or entirely after any concurrent update query, with
+// one documented refinement — a multi-partition InsertRows batch
+// commits per-partition chunks in ascending order, and a snapshot may
+// capture a prefix of them (each chunk atomically; see insert.go). The
 // same holds for views handed out by View/Views/Inputs/ScanAll. Only
 // the evaluation comparators (SortKey's physical reorder) bypass the
 // engine and still need external synchronization.
@@ -175,6 +208,21 @@ type Table struct {
 	// indexes[column] holds one PatchIndex per partition.
 	indexes map[string][]*core.Index
 
+	// nuc[column] is the partition-sharded collision state of a
+	// NUC-indexed column (core.NUCState), created and dropped together
+	// with the index. Its per-partition count maps follow partition
+	// ownership like the index slots; its sealed exception set and
+	// Bloom filters use lock-free atomics with the pre-publication
+	// ordering documented in insert.go. The map itself changes only
+	// under the exclusive structure lock.
+	nuc map[string]*core.NUCState
+
+	// fastInserts / fallbackInserts count InsertRows batches that took
+	// the partition-parallel path vs fell back to the exclusive-lock
+	// collision join (see InsertStats).
+	fastInserts     atomic.Uint64
+	fallbackInserts atomic.Uint64
+
 	// blooms[column] holds optional per-partition Bloom filters over a
 	// NUC column's values (see EnableBloomFilter); bloomSkips counts the
 	// collision joins they avoided.
@@ -196,6 +244,7 @@ func (db *Database) CreateTable(name string, schema storage.Schema, partitions i
 		pmu:         make([]sync.Mutex, partitions),
 		store:       st,
 		indexes:     make(map[string][]*core.Index),
+		nuc:         make(map[string]*core.NUCState),
 		deltaShared: make([]bool, partitions),
 	}
 	t.delta = make([]*pdt.Delta, partitions)
@@ -428,6 +477,12 @@ func (t *Table) Load(rows []storage.Row) {
 		t.delta[p] = pdt.NewDelta(t.store.Schema(), t.store.Partition(p).NumRows())
 		t.deltaShared[p] = false
 	}
+	// Collision state tracks column contents, which just changed
+	// wholesale; recompute it (the indexes themselves are the caller's
+	// to recreate, as before).
+	for column := range t.nuc {
+		t.rebuildNUCStateLocked(column)
+	}
 }
 
 // LoadColumnInt64 bulk-loads a single-column table from a slice,
@@ -462,25 +517,34 @@ func (t *Table) CreatePatchIndex(column string, constraint core.Constraint, opts
 	if constraint == core.NearlyUnique {
 		// Uniqueness relies on a global view of the table (Section 5.1):
 		// duplicates across partitions are patches too. Discovery counts
-		// values globally, then builds the partition-local indexes.
+		// values per partition, merges the counts into the global
+		// duplicate set, and extracts the partition-local patch sets;
+		// the same counting pass seeds the sharded collision state that
+		// backs the partition-parallel insert path (InsertRows).
 		if kind == storage.KindString {
 			parts := make([][]string, nparts)
+			counts := make([]map[string]uint32, nparts)
 			for p := range parts {
 				parts[p] = t.viewLocked(p).MaterializeString(col)
+				counts[p] = core.CountNUCValuesString(parts[p])
 			}
-			patchSets := core.GlobalNUCPatchesString(parts)
+			dup := core.MergeNUCDuplicatesString(counts)
 			for p := range indexes {
-				indexes[p] = core.New(core.NearlyUnique, uint64(len(parts[p])), patchSets[p], opts)
+				indexes[p] = core.New(core.NearlyUnique, uint64(len(parts[p])), core.NUCPatchSetString(parts[p], dup), opts)
 			}
+			t.nuc[column] = core.NewNUCStateString(counts)
 		} else {
 			parts := make([][]int64, nparts)
+			counts := make([]map[int64]uint32, nparts)
 			for p := range parts {
 				parts[p] = t.viewLocked(p).MaterializeInt64(col)
+				counts[p] = core.CountNUCValuesInt64(parts[p])
 			}
-			patchSets := core.GlobalNUCPatchesInt64(parts)
+			dup := core.MergeNUCDuplicatesInt64(counts)
 			for p := range indexes {
-				indexes[p] = core.New(core.NearlyUnique, uint64(len(parts[p])), patchSets[p], opts)
+				indexes[p] = core.New(core.NearlyUnique, uint64(len(parts[p])), core.NUCPatchSetInt64(parts[p], dup), opts)
 			}
+			t.nuc[column] = core.NewNUCStateInt64(counts)
 		}
 		t.indexes[column] = indexes
 		return nil
@@ -513,6 +577,33 @@ func (t *Table) RestorePatchIndexes(column string, indexes []*core.Index) {
 			len(indexes), t.store.NumPartitions()))
 	}
 	t.indexes[column] = indexes
+	// A restored NUC index needs its collision state recomputed from the
+	// restored data (checkpoints persist only the patch sets).
+	if indexes[0] != nil && indexes[0].ConstraintKind() == core.NearlyUnique {
+		t.rebuildNUCStateLocked(column)
+	} else {
+		delete(t.nuc, column)
+	}
+}
+
+// rebuildNUCStateLocked recomputes column's sharded collision state from
+// the current table contents. The caller holds the table exclusively.
+func (t *Table) rebuildNUCStateLocked(column string) {
+	col := t.store.Schema().MustColumnIndex(column)
+	nparts := t.store.NumPartitions()
+	if t.store.Schema()[col].Kind == storage.KindString {
+		counts := make([]map[string]uint32, nparts)
+		for p := range counts {
+			counts[p] = core.CountNUCValuesString(t.viewLocked(p).MaterializeString(col))
+		}
+		t.nuc[column] = core.NewNUCStateString(counts)
+		return
+	}
+	counts := make([]map[int64]uint32, nparts)
+	for p := range counts {
+		counts[p] = core.CountNUCValuesInt64(t.viewLocked(p).MaterializeInt64(col))
+	}
+	t.nuc[column] = core.NewNUCStateInt64(counts)
 }
 
 // DropPatchIndex removes the PatchIndex on the named column.
@@ -520,6 +611,7 @@ func (t *Table) DropPatchIndex(column string) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	delete(t.indexes, column)
+	delete(t.nuc, column)
 }
 
 // PatchIndexes returns frozen copies of the per-partition indexes on

@@ -26,10 +26,20 @@ import (
 // alone and disjoint-partition updates proceed in parallel. Insert and
 // NUC-column Modify run their collision join against every partition
 // (uniqueness is a global property, Section 5.1) and take the exclusive
-// structure lock. An auto-checkpoint inside a partition-scoped update
+// structure lock; InsertRows (insert.go) is the partition-parallel
+// insert path, which replaces the global join with the sharded
+// collision state and falls back here on cross-partition candidate
+// collisions. An auto-checkpoint inside a partition-scoped update
 // propagates only that partition's delta; other partitions' deltas
 // (pending from AutoCheckpoint-off phases) are left for their own
 // updates or an explicit Checkpoint.
+//
+// Every path that changes a NUC column's values also maintains that
+// column's sharded collision state (core.NUCState): inserts raise the
+// partition-local counts (and seal newly duplicated values), deletes
+// lower them, NUC-column modifies do both. The state's per-partition
+// maps follow the same ownership as the index slots, so partition-
+// scoped updates touch only their partition's map.
 
 // changedRef identifies one inserted or modified tuple across the
 // partitioned table, together with its (new) value in the indexed
@@ -79,137 +89,6 @@ func (t *Table) hasNUCIndex() bool {
 		}
 	}
 	return false
-}
-
-// Insert appends rows, distributing them over partitions round-robin,
-// and maintains all PatchIndexes:
-//
-//   - NUC: the Fig. 5 insert handling query — scan the inserted tuples
-//     (from the PDT), join them against the table including the inserts,
-//     with dynamic range propagation pruning the table scan, and merge
-//     the rowIDs of both join sides into the patches. Uniqueness relies
-//     on a global view, so the join probes every partition.
-//   - NSC: extend the materialized sorted subsequence with a longest
-//     sorted subsequence of the inserted values; the rest become patches
-//     (partition-local).
-func (db *Database) Insert(table string, rows []storage.Row) error {
-	t, err := db.LookupTable(table)
-	if err != nil {
-		return err
-	}
-	// Inserts spread over every partition round-robin, and NUC insert
-	// handling joins globally: exclusive structure lock.
-	t.mu.Lock()
-	defer t.mu.Unlock()
-
-	nparts := t.store.NumPartitions()
-	perPart := make([][]storage.Row, nparts)
-	for i, r := range rows {
-		p := i % nparts
-		perPart[p] = append(perPart[p], r)
-	}
-	baseRows := make([]int, nparts)
-	for p := range perPart {
-		baseRows[p] = t.viewLocked(p).NumRows()
-	}
-	// Validate the NUC join payload packing BEFORE mutating anything:
-	// failing after the deltas (and other columns' indexes) were updated
-	// would leave the table and the failing index permanently divergent.
-	if t.hasNUCIndex() {
-		for p, prows := range perPart {
-			if len(prows) == 0 {
-				continue
-			}
-			if _, err := encodeRef(p, uint64(baseRows[p]+len(prows)-1)); err != nil {
-				return fmt.Errorf("engine: insert into %s: %w", table, err)
-			}
-		}
-	}
-	for p, prows := range perPart {
-		if len(prows) == 0 {
-			continue
-		}
-		d := t.mutableDeltaLocked(p)
-		for _, r := range prows {
-			d.Insert(r)
-		}
-	}
-	for column := range t.indexes {
-		idx := t.mutableIndexesLocked(column)
-		col := t.store.Schema().MustColumnIndex(column)
-		switch idx[0].ConstraintKind() {
-		case core.NearlySorted:
-			for p, prows := range perPart {
-				if len(prows) == 0 {
-					continue
-				}
-				vals := make([]int64, len(prows))
-				for i, r := range prows {
-					vals[i] = r[col].I
-				}
-				idx[p].HandleInsertNSC(vals)
-			}
-		case core.NearlyUnique:
-			isInt := t.store.Schema()[col].Kind == storage.KindInt64
-			var changed []changedRef
-			var changedVals []int64
-			for p, prows := range perPart {
-				for i := range prows {
-					ref := changedRef{part: p, rid: uint64(baseRows[p] + i)}
-					if isInt {
-						ref.val = prows[i][col].I
-						changedVals = append(changedVals, ref.val)
-					}
-					changed = append(changed, ref)
-				}
-			}
-			if isInt && !t.mayCollide(column, changedVals) {
-				// Bloom filters prove no collision is possible: skip the
-				// join, extend the indexes (future-work optimization).
-				if t.bloomSkips == nil {
-					t.bloomSkips = make(map[string]int)
-				}
-				t.bloomSkips[column]++
-				for p := range idx {
-					idx[p].HandleInsertNUC(len(perPart[p]), core.NUCJoinResult{})
-				}
-			} else {
-				joins, err := t.nucCollisions(col, changed, perPartStrings(perPart, col, t.store.Schema()[col].Kind))
-				if err != nil {
-					return fmt.Errorf("engine: insert handling on %s.%s: %w", table, column, err)
-				}
-				for p := range idx {
-					idx[p].HandleInsertNUC(len(perPart[p]), joins[p])
-				}
-			}
-			if isInt {
-				for p := range perPart {
-					vals := make([]int64, 0, len(perPart[p]))
-					for _, r := range perPart[p] {
-						vals = append(vals, r[col].I)
-					}
-					t.bloomAddPart(column, p, vals)
-				}
-			}
-		}
-	}
-	if db.AutoCheckpoint {
-		t.checkpointLocked()
-	}
-	return nil
-}
-
-func perPartStrings(perPart [][]storage.Row, col int, kind storage.Kind) [][]string {
-	if kind != storage.KindString {
-		return nil
-	}
-	out := make([][]string, len(perPart))
-	for p, rows := range perPart {
-		for _, r := range rows {
-			out[p] = append(out[p], r[col].S)
-		}
-	}
-	return out
 }
 
 // nucCollisions runs the insert/modify handling query of Fig. 5 against
@@ -348,6 +227,38 @@ func (t *Table) deleteRowIDsLocked(db *Database, partition int, rowIDs []uint64)
 			return fmt.Errorf("engine: delete rowIDs must be strictly ascending")
 		}
 	}
+	// Bounds-check before ANY mutation: the collision-state decrements
+	// below must not run for a batch that is about to be rejected — a
+	// decremented count with the row still live would later classify a
+	// re-insert of its value as fresh and miss the violation. Ascending
+	// order makes checking the last rowID sufficient.
+	if n := t.viewLocked(partition).NumRows(); int(rowIDs[len(rowIDs)-1]) >= n {
+		return fmt.Errorf("engine: delete rowID %d out of range [0,%d) in partition %d",
+			rowIDs[len(rowIDs)-1], n, partition)
+	}
+	// Fold the deleted occurrences out of the sharded collision state
+	// before the delta forgets their values. A sealed duplicated value
+	// stays sealed even when deletes erode it back to uniqueness (or to
+	// zero occurrences): surviving occurrences keep their patch marks,
+	// and the exclusive insert/modify paths force-patch any FRESH
+	// occurrence of a sealed value, so "every live occurrence of a
+	// sealed value is a patch" keeps holding — the invariant the
+	// parallel insert path's sealed shortcut relies on.
+	if len(t.nuc) > 0 {
+		view := t.viewLocked(partition)
+		for column, st := range t.nuc {
+			col := t.store.Schema().MustColumnIndex(column)
+			if st.IsString() {
+				for _, r := range rowIDs {
+					st.RemoveLocalString(partition, view.Get(int(r), col).S)
+				}
+			} else {
+				for _, r := range rowIDs {
+					st.RemoveLocalInt64(partition, view.Get(int(r), col).I)
+				}
+			}
+		}
+	}
 	logical := make([]int, len(rowIDs))
 	for i, r := range rowIDs {
 		logical[i] = int(r)
@@ -411,6 +322,15 @@ func (db *Database) Modify(table string, partition int, rowIDs []uint64, column 
 	if len(rowIDs) != len(values) {
 		return fmt.Errorf("engine: Modify rowIDs/values length mismatch")
 	}
+	// Enforce the strictly-ascending (hence distinct) contract like
+	// DeleteRowIDs does: a duplicated rowID would fold the same physical
+	// row into the NUC collision counts twice — phantom counts that
+	// wrongly seal its new value and permanently diverge from the table.
+	for i := 1; i < len(rowIDs); i++ {
+		if rowIDs[i] <= rowIDs[i-1] {
+			return fmt.Errorf("engine: modify rowIDs must be strictly ascending")
+		}
+	}
 	if partition < 0 || partition >= t.NumPartitions() {
 		return fmt.Errorf("engine: table %q has no partition %d", table, partition)
 	}
@@ -458,6 +378,28 @@ func (t *Table) modifyLocked(db *Database, partition int, rowIDs []uint64, colum
 			}
 		}
 	}
+	// The modified column's collision state needs the outgoing values
+	// before the delta overwrites them. Only NUC-column modifies carry
+	// state (and they run under the exclusive structure lock, so the
+	// whole-table bookkeeping below is safe); rowIDs are assumed
+	// distinct, as the ascending contract implies.
+	st := t.nuc[column]
+	var oldInt []int64
+	var oldStr []string
+	if st != nil {
+		view := t.viewLocked(partition)
+		if st.IsString() {
+			oldStr = make([]string, len(rowIDs))
+			for i, r := range rowIDs {
+				oldStr[i] = view.Get(int(r), col).S
+			}
+		} else {
+			oldInt = make([]int64, len(rowIDs))
+			for i, r := range rowIDs {
+				oldInt[i] = view.Get(int(r), col).I
+			}
+		}
+	}
 	d := t.mutableDeltaLocked(partition)
 	for i, r := range rowIDs {
 		d.Modify(int(r), col, values[i])
@@ -501,6 +443,59 @@ func (t *Table) modifyLocked(db *Database, partition int, rowIDs []uint64, colum
 				t.bloomAddPart(column, partition, changedVals)
 			}
 		}
+	}
+	// Re-point the collision state from the outgoing to the incoming
+	// values: remove old counts, add new ones, force-patch rows whose
+	// NEW value is already sealed (the parallel insert path assumes
+	// every live occurrence of a sealed value is a patch, and the
+	// collision join can come back empty for a sealed value whose other
+	// occurrences were deleted), seal values the modify just
+	// duplicated, and teach the partition filter the new values.
+	if st != nil {
+		var forced []uint64
+		if st.IsString() {
+			for _, v := range oldStr {
+				st.RemoveLocalString(partition, v)
+			}
+			for i := range rowIDs {
+				v := values[i].S
+				st.AddLocalString(partition, v)
+				st.AddBloomString(partition, v)
+			}
+			sealed := st.Sealed()
+			var newDup []string
+			for i := range rowIDs {
+				v := values[i].S
+				if sealed.ContainsString(v) {
+					forced = append(forced, rowIDs[i])
+				} else if st.GlobalCountString(v) > 1 {
+					newDup = append(newDup, v)
+				}
+			}
+			st.SealDuplicatesString(newDup)
+		} else {
+			for _, v := range oldInt {
+				st.RemoveLocalInt64(partition, v)
+			}
+			for i := range rowIDs {
+				v := values[i].I
+				st.AddLocalInt64(partition, v)
+				st.AddBloomInt64(partition, v)
+			}
+			sealed := st.Sealed()
+			var newDup []int64
+			for i := range rowIDs {
+				v := values[i].I
+				if sealed.ContainsInt64(v) {
+					forced = append(forced, rowIDs[i])
+				} else if st.GlobalCountInt64(v) > 1 {
+					newDup = append(newDup, v)
+				}
+			}
+			st.SealDuplicatesInt64(newDup)
+		}
+		t.mutableIndexesLocked(column)[partition].AddPatches(forced)
+		st.RebuildOverfullBlooms()
 	}
 	if db.AutoCheckpoint {
 		t.checkpointPartitionLocked(partition)

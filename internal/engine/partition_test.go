@@ -23,7 +23,10 @@ func TestScanPartitionGatesOnlyItsPartition(t *testing.T) {
 	db := newDB(t)
 	tb := singleColTable(t, db, "t", seq(400), 4)
 
-	op := tb.ScanPartition(0, "v")
+	op, err := tb.ScanPartition(0, "v")
+	if err != nil {
+		t.Fatal(err)
+	}
 	if partitionReorderable(tb, 0) {
 		t.Fatal("gated partition reorderable while its scan is in flight")
 	}
@@ -58,22 +61,26 @@ func TestScanPartitionGatesOnlyItsPartition(t *testing.T) {
 		t.Fatal("drained partition scan still holds the gate")
 	}
 
-	// Unknown columns and partitions abort before capturing.
-	for _, fn := range []func(){
-		func() { tb.ScanPartition(0, "missing") },
-		func() { tb.ScanPartition(9, "v") },
+	// Unknown columns and out-of-range partitions (both signs) error
+	// before capturing — no panic, and no generation ref retained that
+	// nobody would ever release.
+	for _, bad := range []struct {
+		p    int
+		cols []string
+	}{
+		{0, []string{"missing"}},
+		{9, []string{"v"}},
+		{-1, []string{"v"}},
 	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Error("invalid ScanPartition did not panic")
-				}
-			}()
-			fn()
-		}()
+		if op, err := tb.ScanPartition(bad.p, bad.cols...); err == nil || op != nil {
+			t.Errorf("ScanPartition(%d, %v) = (%v, %v), want nil op and error", bad.p, bad.cols, op, err)
+		}
 	}
 	if !partitionReorderable(tb, 0) || !reorderable(tb) {
 		t.Fatal("aborted ScanPartition leaked a ref")
+	}
+	if n := tb.Store().LiveSnapshotRefs(); n != 0 {
+		t.Fatalf("aborted ScanPartition left %d live snapshot ref(s)", n)
 	}
 }
 
@@ -155,6 +162,12 @@ func TestUnknownTableErrors(t *testing.T) {
 	if err := db.DeleteRowIDs("t", 0, []uint64{1, 1}); err == nil {
 		t.Fatal("duplicate delete rowIDs did not error")
 	}
+	// Out-of-range delete rowIDs are rejected before any mutation too
+	// (the collision-state decrements run before the delta would have
+	// panicked, so the bounds check must come first).
+	if err := db.DeleteRowIDs("t", 0, []uint64{1, 999999}); err == nil {
+		t.Fatal("out-of-range delete rowID did not error")
+	}
 }
 
 // TestParallelDisjointUpdates is the tentpole's -race contract: updates
@@ -215,7 +228,11 @@ func TestParallelDisjointUpdates(t *testing.T) {
 				return
 			}
 			snap.Close()
-			op := tb.ScanPartition(i%parts, "v")
+			op, err := tb.ScanPartition(i%parts, "v")
+			if err != nil {
+				errc <- fmt.Errorf("partition scan: %w", err)
+				return
+			}
 			if _, err := CollectInt64(op); err != nil {
 				errc <- fmt.Errorf("partition scan: %w", err)
 				return

@@ -167,21 +167,25 @@ func (t *Table) ScanAll(columns ...string) exec.Operator {
 // the scan nothing: their checkpoints mutate in place and their
 // rebuilds (ExclusivePartition) proceed. The ref is released when the
 // operator is drained or closed, like every query entry point. Unknown
-// columns and partitions panic — before the capture, so the aborted
-// call retains no generation refs.
-func (t *Table) ScanPartition(p int, columns ...string) exec.Operator {
+// columns and out-of-range partitions return an error — before the
+// capture, so the aborted call retains no generation refs.
+func (t *Table) ScanPartition(p int, columns ...string) (exec.Operator, error) {
 	cols := make([]int, len(columns))
 	for i, c := range columns {
-		cols[i] = t.Schema().MustColumnIndex(c)
+		ci := t.Schema().ColumnIndex(c)
+		if ci < 0 {
+			return nil, fmt.Errorf("engine: unknown column %q", c)
+		}
+		cols[i] = ci
 	}
 	if p < 0 || p >= len(t.pmu) {
-		panic(fmt.Sprintf("engine: table %q has no partition %d", t.name, p))
+		return nil, fmt.Errorf("engine: table %q has no partition %d", t.name, p)
 	}
 	t.lockPartition(p)
 	view := t.snapshotViewLocked(p)
 	ref := t.store.RetainPartitions(p)
 	t.unlockPartition(p)
-	return exec.OnClose(exec.NewScan(view, cols), ref.Release)
+	return exec.OnClose(exec.NewScan(view, cols), ref.Release), nil
 }
 
 // CollectInt64 drains a single-column BIGINT operator into a slice.

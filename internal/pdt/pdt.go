@@ -91,6 +91,23 @@ func (d *Delta) Insert(row storage.Row) {
 	}
 }
 
+// InsertRows buffers a batch of tuples at the logical end of the view —
+// the bulk form of Insert the engine's partitioned insert path publishes
+// one partition chunk at a time. Appending column-by-column touches each
+// insert-buffer column once per batch instead of once per row.
+func (d *Delta) InsertRows(rows []storage.Row) {
+	for _, row := range rows {
+		if len(row) != len(d.inserts) {
+			panic(fmt.Sprintf("pdt: row width %d != schema width %d", len(row), len(d.inserts)))
+		}
+	}
+	for i, c := range d.inserts {
+		for _, row := range rows {
+			c.Append(row[i])
+		}
+	}
+}
+
 // survivors returns the number of base rows not marked deleted.
 func (d *Delta) survivors() int { return d.baseRows - len(d.deletes) }
 
@@ -217,13 +234,12 @@ func (d *Delta) ApplyTo(base *storage.Partition) {
 		}
 		base.DeleteRows(positions)
 	}
-	for i := 0; i < d.NumInserts(); i++ {
-		row := make(storage.Row, len(d.inserts))
-		for c, col := range d.inserts {
-			row[c] = col.Get(i)
-		}
-		base.AppendRow(row)
+	if d.NumInserts() == 0 {
+		return
 	}
+	// The insert buffer is already columnar; hand the columns over
+	// wholesale instead of boxing every row.
+	base.AppendColumns(d.inserts)
 }
 
 // Reset empties the delta and re-anchors it to a base partition that now

@@ -309,7 +309,10 @@ func TestRebuildPartitionGating(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	op := tb.ScanPartition(0, "v")
+	op, err := tb.ScanPartition(0, "v")
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := sk.RebuildPartitionChecked(0); err == nil {
 		t.Fatal("partition rebuild ran under a live capture of the same partition")
 	}
@@ -383,7 +386,11 @@ func TestPartitionRebuildVsSiblingDrainRace(t *testing.T) {
 		}
 	}()
 	for { // drains partition 0 over and over
-		got, err := engine.CollectInt64(tb.ScanPartition(0, "v"))
+		op, err := tb.ScanPartition(0, "v")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := engine.CollectInt64(op)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -48,6 +48,23 @@ func (c *Column) Append(v Value) {
 // AppendInt64 adds an int64 value without boxing.
 func (c *Column) AppendInt64(v int64) { c.ints = append(c.ints, v) }
 
+// AppendColumn appends the full contents of src (same kind) — the bulk,
+// boxing-free form of Append used when checkpoint publication copies an
+// insert buffer into base storage.
+func (c *Column) AppendColumn(src *Column) {
+	if src.Kind != c.Kind {
+		panic(fmt.Sprintf("storage: append %v column to %v column %q", src.Kind, c.Kind, c.Name))
+	}
+	switch c.Kind {
+	case KindInt64:
+		c.ints = append(c.ints, src.ints...)
+	case KindFloat64:
+		c.floats = append(c.floats, src.floats...)
+	default:
+		c.strings = append(c.strings, src.strings...)
+	}
+}
+
 // Get returns the value at position i.
 func (c *Column) Get(i int) Value {
 	switch c.Kind {

@@ -50,6 +50,27 @@ func (p *Partition) AppendRow(row Row) {
 	p.invalidateMinMax()
 }
 
+// AppendColumns appends whole same-kind columns (one per schema slot,
+// all equally long) without boxing a single value — the path checkpoint
+// publication takes to move an insert buffer into base storage. Appends
+// never disturb frozen views (their column headers are length-capped),
+// so a partition-lock holder may call it without any whole-table
+// coordination.
+func (p *Partition) AppendColumns(cols []*Column) {
+	if len(cols) != len(p.cols) {
+		panic(fmt.Sprintf("storage: AppendColumns width %d != schema width %d", len(cols), len(p.cols)))
+	}
+	for i := 1; i < len(cols); i++ {
+		if cols[i].Len() != cols[0].Len() {
+			panic(fmt.Sprintf("storage: AppendColumns column lengths diverge (%d vs %d)", cols[i].Len(), cols[0].Len()))
+		}
+	}
+	for i, c := range p.cols {
+		c.AppendColumn(cols[i])
+	}
+	p.invalidateMinMax()
+}
+
 // SetValue overwrites one cell.
 func (p *Partition) SetValue(row, col int, v Value) {
 	p.cols[col].Set(row, v)

@@ -10,6 +10,7 @@ import (
 
 	"patchindex/internal/exec"
 	"patchindex/internal/joinindex"
+	"patchindex/internal/storage"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite the TPC-H golden result files")
@@ -58,6 +59,91 @@ func goldenRun(t *testing.T, q *Queries, name string, mode Mode, ji *joinindex.I
 		t.Fatal(err)
 	}
 	return rowsKey(sortRows(rows))
+}
+
+// goldenInsertBatch mints a deterministic RF1-style refresh batch from
+// the dataset's own seeded generator state: n new orders continuing
+// the o_orderkey sequence, each with 1-7 lineitems.
+func goldenInsertBatch(ds *Dataset, n int) (orders, lineitems []storage.Row) {
+	for i := 0; i < n; i++ {
+		key := ds.nextOrderKey
+		ds.nextOrderKey++
+		date := int64(ds.rng.Intn(int(Date(1998, 8, 2))))
+		orders = append(orders, storage.Row{
+			storage.I64(key),
+			storage.I64(1 + ds.rng.Int63n(int64(ds.NumCustomers))),
+			storage.I64(date),
+			storage.I64(0),
+			storage.I64(1 + ds.rng.Int63n(5)),
+		})
+		for l, nli := 0, 1+ds.rng.Intn(7); l < nli; l++ {
+			lineitems = append(lineitems, ds.lineitemRow(key, date))
+		}
+	}
+	return orders, lineitems
+}
+
+// TestGoldenResultsPostInsert is the post-insert golden variant: load
+// sf0.002 at seed 7, push a fixed seeded batch of new orders and
+// lineitems through the partition-parallel InsertRows path (NSC insert
+// handling runs under each partition's lock), re-run Q3/Q7/Q12 in both
+// plan modes against one fresh snapshot, and pin the aggregates.
+// Regenerate with:
+// go test ./internal/tpch -run TestGoldenResultsPostInsert -update
+func TestGoldenResultsPostInsert(t *testing.T) {
+	const sf = 0.002
+	var b strings.Builder
+	for _, cfg := range goldenConfigs {
+		ds := goldenDataset(t, sf, cfg.e)
+		orders, lineitems := goldenInsertBatch(ds, 12)
+		if err := ds.DB.InsertRows("orders", orders); err != nil {
+			t.Fatal(err)
+		}
+		if err := ds.DB.InsertRows("lineitem", lineitems); err != nil {
+			t.Fatal(err)
+		}
+		ds.NumOrders += len(orders)
+		ds.NumLineitems += len(lineitems)
+		// The NSC index must have followed the inserts through the
+		// partition-parallel path.
+		for _, x := range ds.DB.MustTable("lineitem").PatchIndexes("l_orderkey") {
+			if err := x.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		q := ds.Queries() // one post-insert snapshot for both plans
+		defer q.Close()
+		for _, name := range []string{"Q3", "Q7", "Q12"} {
+			ref := goldenRun(t, q, name, ModeReference, nil)
+			pi := goldenRun(t, q, name, ModePatchIndex, nil)
+			if pi != ref {
+				t.Fatalf("%s/%s post-insert: patch-indexed plan disagrees with full-scan reference:\nPI:\n%s\nref:\n%s",
+					cfg.name, name, pi, ref)
+			}
+			fmt.Fprintf(&b, "== %s %s ==\n%s", cfg.name, name, ref)
+		}
+	}
+	got := b.String()
+
+	path := filepath.Join("testdata", "golden_sf0.002_seed7_postinsert.txt")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("post-insert TPC-H results diverged from the committed goldens.\nIf the change is intentional, regenerate with -update.\ngot:\n%s\nwant:\n%s",
+			got, want)
+	}
 }
 
 // TestGoldenResults is the golden-result regression test: at a fixed

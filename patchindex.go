@@ -16,7 +16,12 @@
 //     summaries, positional delta updates
 //   - internal/engine: the database tying everything together, with
 //     snapshot-isolated queries running concurrently with update
-//     queries (Section 5.4)
+//     queries (Section 5.4). Updates lock at partition granularity:
+//     Database.InsertRows / InsertRowsPartition append through the
+//     partition-parallel insert path (sharded NUC collision state;
+//     cross-partition candidate collisions fall back to the global
+//     collision join), while Database.Insert keeps the paper's
+//     exclusive-lock insert handling verbatim
 //   - internal/matview, internal/sortkey, internal/joinindex: the
 //     comparator materialization approaches of the evaluation
 //   - internal/datagen, internal/tpch: the paper's data generator and

@@ -71,8 +71,20 @@ func TestFacadeEndToEnd(t *testing.T) {
 		t.Fatalf("sort query wrong: %d rows", len(got))
 	}
 
-	// Updates through the facade.
+	// Updates through the facade: the exclusive-lock insert, the
+	// partition-parallel batched inserts, and a predicate delete.
 	if err := db.Insert("t", []Row{{I64(99999), I64(99999)}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.InsertRows("t", []Row{{I64(100001), I64(100001)}, {I64(100002), I64(100002)}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.InsertRowsPartition("t", 1, []Row{{I64(100003), I64(100003)}}); err != nil {
+		t.Fatal(err)
+	}
+	// A batched re-insert of an existing id must still be detected as a
+	// uniqueness violation (it may live in either partition).
+	if err := db.InsertRows("t", []Row{{I64(500), I64(200100)}}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := db.DeleteWhereInt64("t", "id", func(v int64) bool { return v < 10 }); err != nil {
