@@ -1,0 +1,32 @@
+// Pilint runs the patchindex concurrency-invariant analyzers.
+//
+// Standalone:
+//
+//	go run ./cmd/pilint ./...
+//
+// As a vet tool (same analyzers, cached by the go command):
+//
+//	go build -o /tmp/pilint ./cmd/pilint
+//	go vet -vettool=/tmp/pilint ./...
+//
+// See the analyzer package docs (internal/analysis/...) for what each
+// check enforces and internal/analysis/driver for the suppression
+// syntax.
+package main
+
+import (
+	"patchindex/internal/analysis/atomicmix"
+	"patchindex/internal/analysis/deferunlock"
+	"patchindex/internal/analysis/driver"
+	"patchindex/internal/analysis/lockorder"
+	"patchindex/internal/analysis/snapclose"
+)
+
+func main() {
+	driver.Main(
+		lockorder.Analyzer,
+		snapclose.Analyzer,
+		atomicmix.Analyzer,
+		deferunlock.Analyzer,
+	)
+}

@@ -43,8 +43,8 @@ func main() {
 	// reads the same multi-table state — results stay comparable even if
 	// refreshes were running concurrently.
 	snap := ds.Snapshot()
-	defer snap.Close()
 	qs := ds.QueriesAt(snap)
+	defer qs.Close() // closes snap
 	queries := []struct {
 		name string
 		run  func(tpch.Mode, *joinindex.Index) (exec.Operator, error)

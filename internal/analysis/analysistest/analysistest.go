@@ -1,0 +1,347 @@
+// Package analysistest runs an analyzer over golden fixture packages
+// and checks its diagnostics against expectations written in the
+// fixture source, mirroring golang.org/x/tools/go/analysis/analysistest
+// (which the offline build environment cannot vendor).
+//
+// Expectations are trailing comments of the form
+//
+//	// want "regexp" "another regexp"
+//
+// attached to the line the diagnostic must appear on. Each quoted
+// pattern (double- or back-quoted Go string syntax) must be matched by
+// exactly one diagnostic on that line; diagnostics with no matching
+// pattern, and patterns with no matching diagnostic, fail the test.
+//
+// Fixture packages live under testdata/src/<path> and are typechecked
+// for real: imports resolve first against sibling fixture directories,
+// then against the standard library via `go list -export` compiler
+// export data — so fixtures can use sync.Mutex, sync/atomic, and
+// helper types with full type information, offline.
+//
+// Because fixtures run through driver.RunAnalyzers, //pilint:ignore
+// comments inside a fixture are honored, which is how the suppression
+// behavior itself is tested: a suppressed line simply carries no want,
+// and a malformed ignore wants its "pilint" pseudo-finding.
+package analysistest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"patchindex/internal/analysis/driver"
+)
+
+// TestData returns the shared fixture root, internal/analysis/testdata,
+// relative to the calling test's package directory (a sibling of the
+// analyzer packages).
+func TestData(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("..", "testdata"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "src")); err != nil {
+		t.Fatalf("fixture root %s: %v", dir, err)
+	}
+	return dir
+}
+
+// Run loads each fixture package testdata/src/<pkg>, applies the
+// analyzer, and checks the diagnostics against the fixtures' want
+// comments.
+func Run(t *testing.T, testdata string, a *driver.Analyzer, pkgs ...string) {
+	t.Helper()
+	ld := newFixtureLoader(filepath.Join(testdata, "src"))
+	for _, pkg := range pkgs {
+		unit, err := ld.load(pkg)
+		if err != nil {
+			t.Errorf("loading fixture %s: %v", pkg, err)
+			continue
+		}
+		findings, err := driver.RunAnalyzers(unit, []*driver.Analyzer{a})
+		if err != nil {
+			t.Errorf("running %s on fixture %s: %v", a.Name, pkg, err)
+			continue
+		}
+		checkExpectations(t, ld.fset, unit.Files, findings)
+	}
+}
+
+// An expectation is one want pattern, bound to a file:line.
+type expectation struct {
+	posn    token.Position // of the want comment
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+func checkExpectations(t *testing.T, fset *token.FileSet, files []*ast.File, findings []driver.Finding) {
+	t.Helper()
+	byLine := make(map[string][]*expectation)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, exp := range parseWant(t, fset, c) {
+					k := lineKey(exp.posn.Filename, exp.posn.Line)
+					byLine[k] = append(byLine[k], exp)
+				}
+			}
+		}
+	}
+
+	for _, fd := range findings {
+		exps := byLine[lineKey(fd.Posn.Filename, fd.Posn.Line)]
+		ok := false
+		for _, exp := range exps {
+			if !exp.matched && exp.re.MatchString(fd.Message) {
+				exp.matched = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("%s: unexpected diagnostic: %s (%s)", fd.Posn, fd.Message, fd.Analyzer)
+		}
+	}
+
+	var unmatched []*expectation
+	for _, exps := range byLine {
+		for _, exp := range exps {
+			if !exp.matched {
+				unmatched = append(unmatched, exp)
+			}
+		}
+	}
+	sort.Slice(unmatched, func(i, j int) bool {
+		a, b := unmatched[i].posn, unmatched[j].posn
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	for _, exp := range unmatched {
+		t.Errorf("%s: no diagnostic matching %s", exp.posn, exp.raw)
+	}
+}
+
+// parseWant extracts the patterns of one `// want "re" ...` comment.
+func parseWant(t *testing.T, fset *token.FileSet, c *ast.Comment) []*expectation {
+	t.Helper()
+	text, ok := strings.CutPrefix(c.Text, "//")
+	if !ok {
+		return nil // block comments are not expectation carriers
+	}
+	text = strings.TrimSpace(text)
+	rest, ok := strings.CutPrefix(text, "want ")
+	if !ok {
+		return nil
+	}
+	posn := fset.Position(c.Pos())
+	var exps []*expectation
+	for {
+		rest = strings.TrimSpace(rest)
+		if rest == "" {
+			break
+		}
+		q, err := strconv.QuotedPrefix(rest)
+		if err != nil {
+			t.Errorf("%s: malformed want pattern %q: %v", posn, rest, err)
+			break
+		}
+		pat, err := strconv.Unquote(q)
+		if err != nil {
+			t.Errorf("%s: malformed want pattern %s: %v", posn, q, err)
+			break
+		}
+		re, err := regexp.Compile(pat)
+		if err != nil {
+			t.Errorf("%s: want pattern %s: %v", posn, q, err)
+			break
+		}
+		exps = append(exps, &expectation{posn: posn, re: re, raw: q})
+		rest = rest[len(q):]
+	}
+	if len(exps) == 0 {
+		t.Errorf("%s: want comment carries no patterns", posn)
+	}
+	return exps
+}
+
+func lineKey(file string, line int) string {
+	return fmt.Sprintf("%s:%d", file, line)
+}
+
+// fixtureLoader typechecks fixture packages: sibling fixture dirs load
+// from source, everything else resolves to standard-library export data.
+type fixtureLoader struct {
+	src     string // testdata/src
+	fset    *token.FileSet
+	typed   map[string]*types.Package
+	loading map[string]bool
+	std     *stdImporter
+}
+
+func newFixtureLoader(src string) *fixtureLoader {
+	fset := token.NewFileSet()
+	return &fixtureLoader{
+		src:     src,
+		fset:    fset,
+		typed:   make(map[string]*types.Package),
+		loading: make(map[string]bool),
+		std:     newStdImporter(fset),
+	}
+}
+
+// load parses and typechecks testdata/src/<path> as an analysis unit.
+func (l *fixtureLoader) load(path string) (*driver.Unit, error) {
+	files, err := l.parseDir(path)
+	if err != nil {
+		return nil, err
+	}
+	info := driver.NewTypesInfo()
+	conf := types.Config{Importer: l, Sizes: types.SizesFor("gc", runtime.GOARCH)}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck fixture %s: %v", path, err)
+	}
+	return &driver.Unit{ImportPath: path, Fset: l.fset, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+func (l *fixtureLoader) parseDir(path string) ([]*ast.File, error) {
+	dir := filepath.Join(l.src, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	return files, nil
+}
+
+// Import resolves a fixture import: sibling fixture directory first,
+// then the standard library.
+func (l *fixtureLoader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg := l.typed[path]; pkg != nil {
+		return pkg, nil
+	}
+	dir := filepath.Join(l.src, filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		if l.loading[path] {
+			return nil, fmt.Errorf("fixture import cycle through %q", path)
+		}
+		l.loading[path] = true
+		defer delete(l.loading, path)
+		files, err := l.parseDir(path)
+		if err != nil {
+			return nil, err
+		}
+		conf := types.Config{Importer: l, Sizes: types.SizesFor("gc", runtime.GOARCH)}
+		pkg, err := conf.Check(path, l.fset, files, nil)
+		if err != nil {
+			return nil, fmt.Errorf("typecheck fixture dependency %s: %v", path, err)
+		}
+		l.typed[path] = pkg
+		return pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+// stdImporter resolves standard-library imports through compiler export
+// data located (and, if stale, rebuilt into the build cache) by
+// `go list -export`, one lazy invocation per unseen package.
+type stdImporter struct {
+	exports map[string]string // import path -> export file
+	typed   map[string]*types.Package
+	gc      types.Importer
+}
+
+func newStdImporter(fset *token.FileSet) *stdImporter {
+	im := &stdImporter{
+		exports: make(map[string]string),
+		typed:   make(map[string]*types.Package),
+	}
+	im.gc = importer.ForCompiler(fset, "gc", im.lookup)
+	return im
+}
+
+func (im *stdImporter) lookup(path string) (io.ReadCloser, error) {
+	if f := im.exports[path]; f != "" {
+		return os.Open(f)
+	}
+	if err := im.list(path); err != nil {
+		return nil, err
+	}
+	if f := im.exports[path]; f != "" {
+		return os.Open(f)
+	}
+	return nil, fmt.Errorf("no export data for %q", path)
+}
+
+func (im *stdImporter) Import(path string) (*types.Package, error) {
+	if pkg := im.typed[path]; pkg != nil {
+		return pkg, nil
+	}
+	pkg, err := im.gc.Import(path)
+	if err != nil {
+		return nil, err
+	}
+	im.typed[path] = pkg
+	return pkg, nil
+}
+
+// list records export-file locations for path and all its dependencies.
+func (im *stdImporter) list(path string) error {
+	cmd := exec.Command("go", "list", "-e", "-export", "-deps", "-json=ImportPath,Export", path)
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return fmt.Errorf("go list -export %s: %v\n%s", path, err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p struct{ ImportPath, Export string }
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return fmt.Errorf("go list output: %v", err)
+		}
+		if p.Export != "" {
+			im.exports[p.ImportPath] = p.Export
+		}
+	}
+	return nil
+}

@@ -1,0 +1,178 @@
+// Package deferunlock checks that mutexes are released via defer
+// whenever the code between Lock and Unlock can exit early or panic.
+//
+// For every non-deferred x.Lock()/x.RLock() statement, the analyzer
+// scans the rest of the enclosing statement list:
+//
+//   - A matching `defer x.Unlock()` immediately after is the happy
+//     path. If statements that can return or panic slipped in between,
+//     the defer is registered too late and the analyzer says so.
+//   - A matching non-deferred unlock is accepted only when every
+//     statement in between is panic-free straight-line code (no calls,
+//     no returns, no conditional releases) — the tight
+//     lock/store/unlock pattern.
+//   - Reaching a return, a branch statement, or the end of the list
+//     with the lock still held is reported.
+//
+// Functions named lock*/unlock*/acquire*/release* are exempt: they are
+// lock-transfer helpers whose whole point is to exit holding (or
+// having released) the lock; the lockorder analyzer still checks their
+// acquisition order.
+package deferunlock
+
+import (
+	"go/ast"
+	"go/types"
+
+	"patchindex/internal/analysis/driver"
+	"patchindex/internal/analysis/lintutil"
+)
+
+var Analyzer = &driver.Analyzer{
+	Name: "deferunlock",
+	Doc:  "check that locks with early-return or panic paths below them are released via defer",
+	Run:  run,
+}
+
+var exemptPrefixes = []string{"lock", "unlock", "acquire", "release"}
+
+func run(pass *driver.Pass) (interface{}, error) {
+	lintutil.Funcs(pass.Files, func(decl *ast.FuncDecl, body *ast.BlockStmt) {
+		if decl != nil {
+			for _, p := range exemptPrefixes {
+				if lintutil.HasPrefixFold(decl.Name.Name, p) {
+					return
+				}
+			}
+		}
+		c := &checker{pass: pass}
+		c.checkList(body.List)
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false // analyzed as its own function
+			case *ast.BlockStmt:
+				if n != body {
+					c.checkList(n.List)
+				}
+			case *ast.CaseClause:
+				c.checkList(n.Body)
+			case *ast.CommClause:
+				c.checkList(n.Body)
+			}
+			return true
+		})
+	})
+	return nil, nil
+}
+
+type checker struct {
+	pass *driver.Pass
+}
+
+// checkList finds non-deferred acquisitions at the top level of one
+// statement list and audits the statements after each.
+func (c *checker) checkList(list []ast.Stmt) {
+	for i, s := range list {
+		es, ok := s.(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		mutex, method, ok := lintutil.LockCall(c.pass.TypesInfo, call)
+		if !ok {
+			continue
+		}
+		acquire, read, _ := lintutil.LockMethod(method)
+		if !acquire {
+			continue
+		}
+		pair := "Unlock"
+		if read {
+			pair = "RUnlock"
+		}
+		c.audit(call, types.ExprString(mutex), method, pair, list[i+1:])
+	}
+}
+
+// audit scans the statements after an acquisition for its release.
+func (c *checker) audit(lock *ast.CallExpr, lockStr, method, pair string, rest []ast.Stmt) {
+	report := func(format string, args ...interface{}) {
+		c.pass.Reportf(lock.Pos(), format, args...)
+	}
+	risky := false       // a statement in between can return or panic
+	condRelease := false // the lock was released on some nested path
+	for _, s := range rest {
+		switch s := s.(type) {
+		case *ast.DeferStmt:
+			if c.isUnlock(s.Call, lockStr, pair) {
+				if risky {
+					report("defer %s.%s() is registered after statements that can return or panic; register it directly after %s.%s()", lockStr, pair, lockStr, method)
+				}
+				return
+			}
+			// Registering an unrelated defer evaluates its arguments now.
+			if c.subtreeRisk(s.Call, lockStr, pair, &condRelease) {
+				risky = true
+			}
+			continue
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok && c.isUnlock(call, lockStr, pair) {
+				if risky {
+					report("%s.%s() released without defer, with return or panic paths in between; use defer %s.%s()", lockStr, method, lockStr, pair)
+				}
+				return
+			}
+		case *ast.ReturnStmt:
+			report("%s still held at return; use defer %s.%s()", lockStr, lockStr, pair)
+			return
+		case *ast.BranchStmt:
+			report("%s still held at %s statement; use defer %s.%s()", lockStr, s.Tok, lockStr, pair)
+			return
+		}
+		if c.subtreeRisk(s, lockStr, pair, &condRelease) {
+			risky = true
+		}
+	}
+	if condRelease {
+		report("%s.%s() is released on only some paths; use defer %s.%s()", lockStr, method, lockStr, pair)
+	} else {
+		report("%s.%s() is never released on this path; use defer %s.%s()", lockStr, method, lockStr, pair)
+	}
+}
+
+// subtreeRisk reports whether a statement can return, panic, or
+// conditionally release the lock somewhere inside.
+func (c *checker) subtreeRisk(n ast.Node, lockStr, pair string, condRelease *bool) bool {
+	risky := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			risky = true
+		case *ast.CallExpr:
+			if c.isUnlock(n, lockStr, pair) {
+				risky = true
+				*condRelease = true
+				return true
+			}
+			if _, _, isLock := lintutil.LockCall(c.pass.TypesInfo, n); isLock {
+				return true // lock traffic on other mutexes is not a panic source
+			}
+			if !lintutil.IsBuiltinCall(c.pass.TypesInfo, n) {
+				risky = true
+			}
+		}
+		return true
+	})
+	return risky
+}
+
+func (c *checker) isUnlock(call *ast.CallExpr, lockStr, pair string) bool {
+	mutex, method, ok := lintutil.LockCall(c.pass.TypesInfo, call)
+	return ok && method == pair && types.ExprString(mutex) == lockStr
+}

@@ -1,0 +1,12 @@
+package deferunlock_test
+
+import (
+	"testing"
+
+	"patchindex/internal/analysis/analysistest"
+	"patchindex/internal/analysis/deferunlock"
+)
+
+func TestDeferUnlock(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), deferunlock.Analyzer, "deferunlock")
+}

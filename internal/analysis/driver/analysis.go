@@ -1,0 +1,131 @@
+// Package driver is a self-contained, stdlib-only analysis framework
+// mirroring the shape of golang.org/x/tools/go/analysis, plus the two
+// drivers that run analyzers over this repository: a standalone loader
+// (cmd/pilint PATTERNS) built on `go list -export -deps -json`, and an
+// implementation of cmd/go's vet-tool protocol (`go vet -vettool=...`).
+//
+// The x/tools module is deliberately not a dependency: the build
+// environment is offline, and the analyzers need only a small slice of
+// the framework — an Analyzer value, a Pass with syntax + type
+// information, and a Report sink. Keeping the API shapes identical
+// (Analyzer.Run(*Pass), Pass.Reportf, analysistest-style fixture tests)
+// means the suite ports to the real framework by swapping imports if
+// x/tools ever becomes available.
+//
+// # Suppressions
+//
+// Every analyzer supports deliberate, visible exceptions:
+//
+//	//pilint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// placed either on the flagged line (trailing comment) or on its own
+// line directly above. The reason is mandatory — a bare ignore is
+// itself reported — so every exception is reviewable in the diff.
+package driver
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer describes one analysis pass: a name (also the suppression
+// key), a doc string, and the Run function applied to each package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) (interface{}, error)
+}
+
+// A Pass provides one package's syntax and type information to an
+// analyzer's Run function and collects its diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report records one diagnostic. The drivers install a sink that
+	// applies //pilint:ignore suppressions before surfacing it.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding, positioned in the analyzed package.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// A Finding is a diagnostic resolved to a file position and tagged with
+// the analyzer that produced it — the driver-level result type.
+type Finding struct {
+	Analyzer string
+	Posn     token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Posn, f.Message, f.Analyzer)
+}
+
+// Unit is one package's worth of analysis input.
+type Unit struct {
+	ImportPath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+}
+
+// NewTypesInfo returns a types.Info with every map the analyzers rely
+// on allocated.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+// RunAnalyzers applies the analyzers to one loaded unit, filters the
+// diagnostics through the unit's //pilint:ignore comments, and returns
+// the surviving findings (malformed or unknown suppressions included,
+// reported under the pseudo-analyzer name "pilint").
+func RunAnalyzers(u *Unit, analyzers []*Analyzer) ([]Finding, error) {
+	sup := collectSuppressions(u.Fset, u.Files)
+
+	var findings []Finding
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      u.Fset,
+			Files:     u.Files,
+			Pkg:       u.Pkg,
+			TypesInfo: u.Info,
+		}
+		name := a.Name
+		pass.Report = func(d Diagnostic) {
+			posn := u.Fset.Position(d.Pos)
+			if sup.suppressed(name, posn) {
+				return
+			}
+			findings = append(findings, Finding{Analyzer: name, Posn: posn, Message: d.Message})
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: analyzer %s: %w", u.ImportPath, a.Name, err)
+		}
+	}
+	findings = append(findings, sup.problems(analyzers)...)
+	return findings, nil
+}

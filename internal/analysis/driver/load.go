@@ -1,0 +1,216 @@
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// listPackage is the slice of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	ForTest    string
+	Error      *struct{ Err string }
+}
+
+// A Loader materializes analysis Units for a set of package patterns.
+// Dependencies are imported from compiler export data produced by
+// `go list -export` (built from the local build cache — no network),
+// with a typecheck-from-source fallback for packages that lack it.
+type Loader struct {
+	Fset  *token.FileSet
+	Tests bool // include _test.go files (test-variant packages)
+	Dir   string
+
+	pkgs    map[string]*listPackage    // ImportPath (bracketed for variants) -> metadata
+	typed   map[string]*types.Package  // ImportPath -> typechecked package
+	gcimp   types.Importer             // export-data importer, shared Fset
+	loading map[string]bool            // cycle guard for the source fallback
+}
+
+// NewLoader returns a loader rooted at dir (the module root; "" for the
+// current directory).
+func NewLoader(dir string, tests bool) *Loader {
+	l := &Loader{
+		Fset:    token.NewFileSet(),
+		Tests:   tests,
+		Dir:     dir,
+		pkgs:    make(map[string]*listPackage),
+		typed:   make(map[string]*types.Package),
+		loading: make(map[string]bool),
+	}
+	l.gcimp = importer.ForCompiler(l.Fset, "gc", l.lookupExport)
+	return l
+}
+
+// lookupExport opens the export data recorded by `go list -export` for
+// an import path.
+func (l *Loader) lookupExport(path string) (io.ReadCloser, error) {
+	p := l.pkgs[path]
+	if p == nil || p.Export == "" {
+		return nil, fmt.Errorf("no export data for %q", path)
+	}
+	return os.Open(p.Export)
+}
+
+// Load runs `go list` over the patterns and returns one Unit per
+// matched package, with _test.go files folded into their package's
+// test variant when Tests is set.
+func (l *Loader) Load(patterns ...string) ([]*Unit, error) {
+	args := []string{"list", "-e", "-export", "-deps", "-json=ImportPath,Dir,Name,Export,GoFiles,Standard,DepOnly,ForTest,Error"}
+	if l.Tests {
+		args = append(args, "-test")
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.Dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+
+	var order []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		l.pkgs[p.ImportPath] = p
+		order = append(order, p)
+	}
+
+	// Pick the units to analyze: pattern-matched packages (not DepOnly),
+	// skipping synthesized test mains and — when a test variant exists —
+	// the base package it supersedes (the variant compiles a superset of
+	// its files, so analyzing both would duplicate every finding).
+	variant := make(map[string]bool)
+	for _, p := range l.pkgs {
+		if p.ForTest != "" && p.Name != "main" {
+			variant[p.ForTest] = true
+		}
+	}
+	var units []*Unit
+	for _, p := range order {
+		if p.DepOnly || p.Standard || p.Name == "main" && strings.HasSuffix(p.ImportPath, ".test") {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if variant[p.ImportPath] {
+			continue // its [pkg.test] variant is in the list
+		}
+		u, err := l.typecheckUnit(p)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, u)
+	}
+	return units, nil
+}
+
+// typecheckUnit parses and typechecks one to-be-analyzed package from
+// source, importing its dependencies through the loader.
+func (l *Loader) typecheckUnit(p *listPackage) (*Unit, error) {
+	files, err := l.parseFiles(p)
+	if err != nil {
+		return nil, err
+	}
+	info := NewTypesInfo()
+	conf := types.Config{
+		Importer: l,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	pkg, err := conf.Check(importBase(p.ImportPath), l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", p.ImportPath, err)
+	}
+	return &Unit{ImportPath: p.ImportPath, Fset: l.Fset, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+// importBase strips a test-variant suffix: "p [q.test]" -> "p".
+func importBase(ip string) string {
+	if i := strings.Index(ip, " ["); i >= 0 {
+		return ip[:i]
+	}
+	return ip
+}
+
+func (l *Loader) parseFiles(p *listPackage) ([]*ast.File, error) {
+	files := make([]*ast.File, 0, len(p.GoFiles))
+	for _, name := range p.GoFiles {
+		fn := name
+		if !filepath.IsAbs(fn) {
+			fn = filepath.Join(p.Dir, name)
+		}
+		f, err := parser.ParseFile(l.Fset, fn, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// Import implements types.Importer for dependency resolution: export
+// data when `go list -export` produced it, source typechecking as the
+// fallback (memoized; import cycles cannot occur in valid input).
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg := l.typed[path]; pkg != nil {
+		return pkg, nil
+	}
+	meta := l.pkgs[path]
+	if meta != nil && meta.Export != "" {
+		pkg, err := l.gcimp.Import(path)
+		if err == nil {
+			l.typed[path] = pkg
+			return pkg, nil
+		}
+		// fall through to the source fallback
+	}
+	if meta == nil || meta.Dir == "" {
+		return nil, fmt.Errorf("cannot resolve import %q", path)
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+	files, err := l.parseFiles(meta)
+	if err != nil {
+		return nil, err
+	}
+	conf := types.Config{Importer: l, Sizes: types.SizesFor("gc", runtime.GOARCH)}
+	pkg, err := conf.Check(path, l.Fset, files, nil)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck dependency %s: %v", path, err)
+	}
+	l.typed[path] = pkg
+	return pkg, nil
+}

@@ -1,0 +1,122 @@
+package driver
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Main is the entry point shared by cmd/pilint: it dispatches between
+// the standalone mode (`pilint ./...`) and cmd/go's vet-tool protocol
+// (`go vet -vettool=$(which pilint) ./...`), which invokes the tool
+// with -V=full / -flags / a *.cfg argument per package.
+//
+// Standalone exit codes: 0 clean, 1 findings, 2 usage or load failure.
+func Main(analyzers ...*Analyzer) {
+	args := os.Args[1:]
+	if len(args) == 1 && args[0] == "-V=full" {
+		printVersion()
+		return
+	}
+	if len(args) == 1 && args[0] == "-flags" {
+		fmt.Println("[]")
+		return
+	}
+	if n := len(args); n > 0 && isCfg(args[n-1]) {
+		unitcheckerMain(args[n-1], analyzers)
+		return
+	}
+
+	fs := flag.NewFlagSet("pilint", flag.ExitOnError)
+	tests := fs.Bool("test", true, "analyze _test.go files too")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: pilint [-test=false] package patterns...\n\nAnalyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, firstLine(a.Doc))
+		}
+		fmt.Fprintf(os.Stderr, "\nSuppress a finding with '//pilint:ignore <analyzer> <reason>'.\n")
+	}
+	fs.Parse(args)
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		fs.Usage()
+		os.Exit(2)
+	}
+
+	findings, err := Check(os.Stdout, *tests, patterns, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pilint:", err)
+		os.Exit(2)
+	}
+	if findings > 0 {
+		os.Exit(1)
+	}
+}
+
+// Check loads the patterns, runs the analyzers, prints findings to w,
+// and returns how many there were.
+func Check(w io.Writer, tests bool, patterns []string, analyzers []*Analyzer) (int, error) {
+	l := NewLoader("", tests)
+	units, err := l.Load(patterns...)
+	if err != nil {
+		return 0, err
+	}
+	var all []Finding
+	for _, u := range units {
+		fs, err := RunAnalyzers(u, analyzers)
+		if err != nil {
+			return 0, err
+		}
+		all = append(all, fs...)
+	}
+	all = dedupe(all)
+	for _, f := range all {
+		fmt.Fprintln(w, f)
+	}
+	return len(all), nil
+}
+
+// dedupe drops findings reported at the same position with the same
+// message by the same analyzer — a file shared between a package and
+// its test variant is analyzed once per unit otherwise.
+func dedupe(fs []Finding) []Finding {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Posn.Filename != b.Posn.Filename {
+			return a.Posn.Filename < b.Posn.Filename
+		}
+		if a.Posn.Line != b.Posn.Line {
+			return a.Posn.Line < b.Posn.Line
+		}
+		if a.Posn.Column != b.Posn.Column {
+			return a.Posn.Column < b.Posn.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	out := fs[:0]
+	for i, f := range fs {
+		if i > 0 && f == fs[i-1] {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+func isCfg(s string) bool {
+	return len(s) > 4 && s[len(s)-4:] == ".cfg"
+}
+
+func firstLine(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			return s[:i]
+		}
+	}
+	return s
+}

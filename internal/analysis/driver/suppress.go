@@ -1,0 +1,145 @@
+package driver
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// ignorePrefix introduces a suppression comment:
+//
+//	//pilint:ignore lockorder,deferunlock upgrade pattern, see package docs
+//
+// The analyzer list is comma-separated; everything after it is the
+// mandatory free-text reason. A suppression applies to diagnostics on
+// the comment's own line (trailing form) and on the line directly below
+// (own-line form).
+const ignorePrefix = "//pilint:ignore"
+
+// knownAnalyzers is the full suite, used to validate suppression names
+// even when a driver runs a subset (analysistest runs one analyzer at a
+// time, but a fixture may legitimately suppress a sibling).
+var knownAnalyzers = map[string]bool{
+	"lockorder":   true,
+	"snapclose":   true,
+	"atomicmix":   true,
+	"deferunlock": true,
+}
+
+type suppression struct {
+	names  []string
+	reason string
+	posn   token.Position
+	used   bool
+}
+
+type suppressions struct {
+	// byLine maps file:line (of the comment) to its suppression.
+	byLine map[string][]*suppression
+}
+
+func key(file string, line int) string {
+	return file + ":" + itoa(line)
+}
+
+func itoa(n int) string {
+	// strconv-free to keep the hot path allocation-light; lines are small.
+	if n == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// collectSuppressions gathers every //pilint:ignore comment in the
+// unit's files.
+func collectSuppressions(fset *token.FileSet, files []*ast.File) *suppressions {
+	s := &suppressions{byLine: make(map[string][]*suppression)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				posn := fset.Position(c.Pos())
+				sup := &suppression{posn: posn}
+				fields := strings.Fields(rest)
+				if len(fields) > 0 {
+					sup.names = strings.Split(fields[0], ",")
+					sup.reason = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), fields[0]))
+				}
+				k := key(posn.Filename, posn.Line)
+				s.byLine[k] = append(s.byLine[k], sup)
+			}
+		}
+	}
+	return s
+}
+
+// suppressed reports whether a diagnostic from analyzer name at posn is
+// covered by an ignore comment on the same line or the line above.
+func (s *suppressions) suppressed(name string, posn token.Position) bool {
+	hit := false
+	for _, line := range []int{posn.Line, posn.Line - 1} {
+		for _, sup := range s.byLine[key(posn.Filename, line)] {
+			for _, n := range sup.names {
+				if n == name {
+					sup.used = true
+					hit = true
+				}
+			}
+		}
+	}
+	return hit
+}
+
+// problems reports malformed suppressions: a missing reason, or an
+// analyzer name outside the known suite. They surface as findings under
+// the pseudo-analyzer "pilint", so a typoed ignore fails the build
+// instead of silently suppressing nothing.
+func (s *suppressions) problems(running []*Analyzer) []Finding {
+	valid := make(map[string]bool, len(knownAnalyzers)+len(running))
+	for n := range knownAnalyzers {
+		valid[n] = true
+	}
+	for _, a := range running {
+		valid[a.Name] = true
+	}
+	var out []Finding
+	for _, sups := range s.byLine {
+		for _, sup := range sups {
+			if len(sup.names) == 0 {
+				out = append(out, Finding{Analyzer: "pilint", Posn: sup.posn,
+					Message: "pilint:ignore needs an analyzer name and a reason"})
+				continue
+			}
+			for _, n := range sup.names {
+				if !valid[n] {
+					out = append(out, Finding{Analyzer: "pilint", Posn: sup.posn,
+						Message: "pilint:ignore names unknown analyzer " + quote(n)})
+				}
+			}
+			if sup.reason == "" {
+				out = append(out, Finding{Analyzer: "pilint", Posn: sup.posn,
+					Message: "pilint:ignore needs a reason after the analyzer name"})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Posn.Filename != out[j].Posn.Filename {
+			return out[i].Posn.Filename < out[j].Posn.Filename
+		}
+		return out[i].Posn.Line < out[j].Posn.Line
+	})
+	return out
+}
+
+func quote(s string) string { return "\"" + s + "\"" }

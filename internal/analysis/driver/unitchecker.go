@@ -1,0 +1,144 @@
+package driver
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+)
+
+// vetConfig mirrors the JSON configuration cmd/go writes for vet tools
+// (the unitchecker protocol): one file per package, naming the sources
+// to analyze and the export data of every dependency.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// printVersion answers `pilint -V=full`. cmd/go hashes the output into
+// its action cache, so it includes a digest of the executable itself —
+// rebuilding pilint with changed analyzers invalidates cached vet
+// results.
+func printVersion() {
+	name := filepath.Base(os.Args[0])
+	digest := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			h := sha256.New()
+			if _, err := io.Copy(h, f); err == nil {
+				digest = fmt.Sprintf("%x", h.Sum(nil)[:12])
+			}
+			f.Close()
+		}
+	}
+	fmt.Printf("%s version devel buildID=%s\n", name, digest)
+}
+
+// unitcheckerMain analyzes the single package described by a cfg file,
+// in the manner of golang.org/x/tools/go/analysis/unitchecker. Exit
+// codes: 0 clean, 1 internal/typecheck error, 3 diagnostics reported.
+func unitcheckerMain(cfgFile string, analyzers []*Analyzer) {
+	cfg, err := readVetConfig(cfgFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pilint:", err)
+		os.Exit(1)
+	}
+	// The go command expects the facts file regardless of findings; the
+	// suite exchanges no facts, so it is always empty.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "pilint:", err)
+			os.Exit(1)
+		}
+	}
+	if cfg.VetxOnly {
+		return
+	}
+
+	unit, err := typecheckVetUnit(cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "pilint:", err)
+		os.Exit(1)
+	}
+	findings, err := RunAnalyzers(unit, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pilint:", err)
+		os.Exit(1)
+	}
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	if len(findings) > 0 {
+		os.Exit(3)
+	}
+}
+
+func readVetConfig(path string) (*vetConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(vetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("parsing %s: %v", path, err)
+	}
+	return cfg, nil
+}
+
+func typecheckVetUnit(cfg *vetConfig) (*Unit, error) {
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(cfg.GoFiles))
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := NewTypesInfo()
+	conf := types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor(compiler, runtime.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	pkg, err := conf.Check(importBase(cfg.ImportPath), fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", cfg.ImportPath, err)
+	}
+	return &Unit{ImportPath: cfg.ImportPath, Fset: fset, Files: files, Pkg: pkg, Info: info}, nil
+}

@@ -1,0 +1,12 @@
+package snapclose_test
+
+import (
+	"testing"
+
+	"patchindex/internal/analysis/analysistest"
+	"patchindex/internal/analysis/snapclose"
+)
+
+func TestSnapClose(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), snapclose.Analyzer, "snapclose")
+}

@@ -1,0 +1,76 @@
+// Package atomicmix is the golden fixture for the atomicmix analyzer.
+package atomicmix
+
+import "sync/atomic"
+
+type C struct {
+	n    uint64
+	bits []uint64
+}
+
+// IncAtomic puts n into the atomic set.
+func (c *C) IncAtomic() { atomic.AddUint64(&c.n, 1) }
+
+// GetBit puts the elements of bits into the atomic set (and is itself
+// a sanctioned access).
+func (c *C) GetBit(i uint64) bool {
+	return atomic.LoadUint64(&c.bits[i/64])&(1<<(i%64)) != 0
+}
+
+func (c *C) plainRead() uint64 {
+	return c.n // want `plain access of n`
+}
+
+func (c *C) plainWrite() {
+	c.n = 0 // want `plain access of n`
+}
+
+// setBit takes the element's address and then operates atomically on
+// the pointer — taking an address is not an access (regression: the
+// CAS-loop idiom must stay clean).
+func (c *C) setBit(i uint64) {
+	w, bit := &c.bits[i/64], uint64(1)<<(i%64)
+	for {
+		old := atomic.LoadUint64(w)
+		if old&bit != 0 || atomic.CompareAndSwapUint64(w, old, old|bit) {
+			break
+		}
+	}
+}
+
+func (c *C) plainElem(i uint64) uint64 {
+	return c.bits[i] // want `plain element access of bits`
+}
+
+func (c *C) plainRange() int {
+	t := 0
+	for _, w := range c.bits { // want `range reads elements of bits`
+		t += int(w)
+	}
+	return t
+}
+
+// indexOnlyRange ranges over indexes without reading elements: allowed.
+func (c *C) indexOnlyRange() int {
+	t := 0
+	for i := range c.bits {
+		t += i
+	}
+	return t
+}
+
+// sliceHeaderOps touch the header, not the elements: allowed.
+func (c *C) sliceHeaderOps() int {
+	c.bits = append(c.bits, 0)
+	return len(c.bits) + cap(c.bits)
+}
+
+func (c *C) suppressedRead() uint64 {
+	//pilint:ignore atomicmix fixture: diagnostic read to test suppression
+	return c.n
+}
+
+// T uses a typed atomic, which needs no checking at all.
+type T struct{ v atomic.Uint64 }
+
+func (t *T) Load() uint64 { return t.v.Load() }

@@ -1,0 +1,75 @@
+// Package deferunlock is the golden fixture for the deferunlock
+// analyzer.
+package deferunlock
+
+import "sync"
+
+type S struct{ mu sync.Mutex }
+
+func work() {}
+
+// deferred: the canonical shape, no findings.
+func deferred(s *S) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	work()
+}
+
+// straightLine: nothing between Lock and Unlock can return or panic,
+// so the explicit unlock is fine.
+func straightLine(s *S) int {
+	s.mu.Lock()
+	x := 1 + 2
+	s.mu.Unlock()
+	return x
+}
+
+func riskyCallBetween(s *S) {
+	s.mu.Lock() // want `released without defer`
+	work()
+	s.mu.Unlock()
+}
+
+func neverReleased(s *S) {
+	s.mu.Lock() // want `never released`
+	work()
+}
+
+func heldAtReturn(s *S, b bool) {
+	s.mu.Lock() // want `use defer`
+	if b {
+		work()
+	}
+	s.mu.Unlock()
+	if b {
+		return
+	}
+}
+
+func lateDefer(s *S) {
+	s.mu.Lock() // want `registered after statements that can return or panic`
+	work()
+	defer s.mu.Unlock()
+}
+
+func condRelease(s *S, b bool) {
+	s.mu.Lock() // want `released on only some paths`
+	if b {
+		s.mu.Unlock()
+	}
+}
+
+// lockBoth matches the lock-helper naming convention and is exempt.
+func lockBoth(a, b *S) {
+	a.mu.Lock()
+	b.mu.Lock()
+}
+
+func serializedLoop(s *S) {
+	for i := 0; i < 3; i++ {
+		//pilint:ignore deferunlock fixture: tight serialization loop to test suppression
+		s.mu.Lock()
+		work()
+		s.mu.Unlock()
+	}
+}

@@ -1,0 +1,139 @@
+// Package lockorder is the golden fixture for the lockorder analyzer.
+package lockorder
+
+import "sync"
+
+type DB struct {
+	mu sync.RWMutex // lock-rank: 10
+	// lock-rank: 15
+	n int // want `lock-rank marker on n, which is not a sync mutex or mutex slice`
+}
+
+type Table struct {
+	mu  sync.Mutex   // lock-rank: 20
+	pmu []sync.Mutex // lock-rank: 30
+}
+
+// goodOrder acquires strictly by ascending rank and index: no findings.
+func goodOrder(db *DB, t *Table) {
+	db.mu.RLock()
+	t.mu.Lock()
+	t.pmu[0].Lock()
+	t.pmu[1].Lock()
+	t.pmu[1].Unlock()
+	t.pmu[0].Unlock()
+	t.mu.Unlock()
+	db.mu.RUnlock()
+}
+
+func badRankOrder(db *DB, t *Table) {
+	t.mu.Lock()
+	db.mu.Lock() // want `acquired while holding t\.mu`
+	db.mu.Unlock()
+	t.mu.Unlock()
+}
+
+func badIndexOrder(t *Table) {
+	t.pmu[1].Lock()
+	t.pmu[0].Lock() // want `ascending index order`
+	t.pmu[0].Unlock()
+	t.pmu[1].Unlock()
+}
+
+func indexReleaseThenLower(t *Table) {
+	// Releasing the higher index first makes the lower one legal again.
+	t.pmu[1].Lock()
+	t.pmu[1].Unlock()
+	t.pmu[0].Lock()
+	t.pmu[0].Unlock()
+}
+
+func descendingSweep(t *Table) {
+	for i := len(t.pmu) - 1; i >= 0; i-- {
+		t.pmu[i].Lock() // want `descending loop`
+	}
+	for i := range t.pmu {
+		t.pmu[i].Unlock()
+	}
+}
+
+func ascendingSweep(t *Table) {
+	for i := range t.pmu {
+		t.pmu[i].Lock()
+	}
+	for i := range t.pmu {
+		t.pmu[i].Unlock()
+	}
+}
+
+func reacquire(t *Table) {
+	t.mu.Lock()
+	t.mu.Lock() // want `acquired while already held`
+	t.mu.Unlock()
+	t.mu.Unlock()
+}
+
+// readRead: recursive read-locking is not a self-deadlock; no findings.
+func readRead(db *DB) {
+	db.mu.RLock()
+	db.mu.RLock()
+	db.mu.RUnlock()
+	db.mu.RUnlock()
+}
+
+func constAfterSweep(t *Table) {
+	for i := range t.pmu {
+		t.pmu[i].Lock()
+	}
+	t.pmu[0].Lock() // want `after an ascending sweep`
+	for i := range t.pmu {
+		t.pmu[i].Unlock()
+	}
+}
+
+// lockAll is a lock helper; its events replay at every call site.
+func (t *Table) lockAll() {
+	for i := range t.pmu {
+		t.pmu[i].Lock()
+	}
+}
+
+func (t *Table) unlockAll() {
+	for i := range t.pmu {
+		t.pmu[i].Unlock()
+	}
+}
+
+func sweepOverHeldIndex(t *Table) {
+	t.pmu[0].Lock()
+	t.lockAll() // want `would re-acquire index 0`
+	t.unlockAll()
+	t.pmu[0].Unlock()
+}
+
+// lockDB is a rank-10 helper used below a rank-20 hold.
+func (db *DB) lockDB()   { db.mu.Lock() }
+func (db *DB) unlockDB() { db.mu.Unlock() }
+
+func inversionViaHelper(db *DB, t *Table) {
+	t.mu.Lock()
+	db.lockDB() // want `acquired while holding t\.mu`
+	db.unlockDB()
+	t.mu.Unlock()
+}
+
+func helperThenHigher(db *DB, t *Table) {
+	// Helper first, higher rank after: legal, no findings.
+	db.lockDB()
+	t.mu.Lock()
+	t.mu.Unlock()
+	db.unlockDB()
+}
+
+func suppressedInversion(db *DB, t *Table) {
+	t.mu.Lock()
+	//pilint:ignore lockorder fixture: deliberate inversion to test suppression
+	db.mu.Lock()
+	db.mu.Unlock()
+	t.mu.Unlock()
+}

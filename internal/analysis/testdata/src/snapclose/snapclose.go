@@ -1,0 +1,133 @@
+// Package snapclose is the golden fixture for the snapclose analyzer.
+package snapclose
+
+import "errors"
+
+type Snap struct{}
+
+func (s *Snap) Close()       {}
+func (s *Snap) NumRows() int { return 0 }
+
+type Op struct{}
+
+func (o *Op) Close() {}
+
+type Table struct{}
+
+func (t *Table) Snapshot() *Snap                  { return &Snap{} }
+func (t *Table) ScanAll(col string) *Op           { return &Op{} }
+func (t *Table) Distinct(col string) (*Op, error) { return nil, errors.New("no index") }
+
+func sink(s *Snap) {}
+
+var keep *Snap
+
+func dropped(t *Table) {
+	t.Snapshot() // want `result of Snapshot is dropped`
+}
+
+func blankAssigned(t *Table) {
+	_ = t.Snapshot() // want `result of Snapshot is assigned to _`
+}
+
+func blankWithErr(t *Table) error {
+	_, err := t.Distinct("v") // want `result of Distinct is assigned to _`
+	return err
+}
+
+func neverClosed(t *Table) int {
+	snap := t.Snapshot()
+	return snap.NumRows() // want `return without closing snap`
+}
+
+func fallsOffEnd(t *Table) {
+	snap := t.Snapshot() // want `snap acquired here is not closed on every path`
+	snap.NumRows()
+}
+
+func closed(t *Table) int {
+	snap := t.Snapshot()
+	n := snap.NumRows()
+	snap.Close()
+	return n
+}
+
+func deferClosed(t *Table) int {
+	snap := t.Snapshot()
+	defer snap.Close()
+	return snap.NumRows()
+}
+
+// escape shapes: ownership moves to the caller or another holder.
+func escapeDirect(t *Table) *Snap { return t.Snapshot() }
+
+func escapeVar(t *Table) *Snap {
+	snap := t.Snapshot()
+	return snap
+}
+
+func escapeArg(t *Table) {
+	snap := t.Snapshot()
+	sink(snap)
+}
+
+func escapeGlobal(t *Table) {
+	snap := t.Snapshot()
+	keep = snap
+}
+
+// errGuard: the acquisition's own error path carries no resource.
+func errGuard(t *Table) error {
+	op, err := t.Distinct("v")
+	if err != nil {
+		return err
+	}
+	op.Close()
+	return nil
+}
+
+func returnWithoutClose(t *Table, b bool) {
+	snap := t.Snapshot()
+	if b {
+		return // want `return without closing snap`
+	}
+	snap.Close()
+}
+
+// loopCloseThenReturn: every in-loop path closes before leaving
+// (regression: close-then-return inside a loop body is complete).
+func loopCloseThenReturn(t *Table, n int) {
+	for i := 0; i < n; i++ {
+		snap := t.Snapshot()
+		if i == 3 {
+			snap.Close()
+			return
+		}
+		snap.Close()
+	}
+}
+
+func switchAllArmsClose(t *Table, k int) {
+	snap := t.Snapshot()
+	switch k {
+	case 0:
+		snap.Close()
+	default:
+		snap.Close()
+	}
+}
+
+func switchMissingDefault(t *Table, k int) {
+	snap := t.Snapshot() // want `snap acquired here is not closed on every path`
+	switch k {
+	case 0:
+		snap.Close()
+	}
+}
+
+func suppressedProbe(t *Table) {
+	//pilint:ignore snapclose fixture: error-path probe to test suppression
+	if _, err := t.Distinct("missing"); err == nil {
+		panic("unexpected success")
+	}
+}

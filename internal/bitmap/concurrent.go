@@ -40,8 +40,8 @@ func (c *Concurrent) bitOp(i uint64, op func(*Sharded, uint64)) {
 	defer c.mu.RUnlock()
 	sh, _ := c.s.locate(i)
 	c.shards[sh].Lock()
+	defer c.shards[sh].Unlock()
 	op(c.s, i)
-	c.shards[sh].Unlock()
 }
 
 // Get reports whether bit i is set.
@@ -50,9 +50,8 @@ func (c *Concurrent) Get(i uint64) bool {
 	defer c.mu.RUnlock()
 	sh, _ := c.s.locate(i)
 	c.shards[sh].Lock()
-	v := c.s.Get(i)
-	c.shards[sh].Unlock()
-	return v
+	defer c.shards[sh].Unlock()
+	return c.s.Get(i)
 }
 
 // Count returns the number of set live bits.

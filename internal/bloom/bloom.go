@@ -66,8 +66,10 @@ func (f *Filter) Add(v int64) {
 	h2 := mix64(h1 ^ 0x9e3779b97f4a7c15)
 	for i := uint64(0); i < f.k; i++ {
 		pos := (h1 + i*h2) % f.m
+		//pilint:ignore atomicmix single-writer API; concurrent callers use AddConcurrent
 		f.bits[pos/64] |= 1 << (pos % 64)
 	}
+	//pilint:ignore atomicmix single-writer API; concurrent callers use AddConcurrent
 	f.n++
 }
 
@@ -78,6 +80,7 @@ func (f *Filter) MayContain(v int64) bool {
 	h2 := mix64(h1 ^ 0x9e3779b97f4a7c15)
 	for i := uint64(0); i < f.k; i++ {
 		pos := (h1 + i*h2) % f.m
+		//pilint:ignore atomicmix single-reader API; concurrent callers use MayContainConcurrent
 		if f.bits[pos/64]&(1<<(pos%64)) == 0 {
 			return false
 		}
@@ -135,6 +138,7 @@ func (f *Filter) SizeBytes() uint64 { return uint64(len(f.bits)) * 8 }
 // the false-positive rate degrades and the filter should be resized).
 func (f *Filter) FillRatio() float64 {
 	var set int
+	//pilint:ignore atomicmix diagnostic read; callers quiesce writers first
 	for _, w := range f.bits {
 		set += popcount(w)
 	}

@@ -166,6 +166,7 @@ func TestNUCStateSealedReadersRaceFree(t *testing.T) {
 		}()
 	}
 	for i := 0; i < 500; i++ {
+		//pilint:ignore deferunlock tight serialization loop; defer would hold the lock across iterations
 		mu.Lock()
 		st.SealDuplicatesInt64([]int64{int64(i)})
 		mu.Unlock()

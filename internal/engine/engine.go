@@ -97,6 +97,37 @@
 // multi-partition batch's chunks (each chunk atomically); Insert and
 // single-partition batches remain all-or-nothing. See insert.go for the
 // full protocol.
+//
+// # Mechanically enforced invariants
+//
+// Four of the invariants above are checked by cmd/pilint (standalone:
+// `go run ./cmd/pilint ./...`; as a vet tool: `go build -o pilint
+// ./cmd/pilint && go vet -vettool=./pilint ./...`), so violations fail
+// CI instead of waiting for a race or deadlock to reproduce:
+//
+//   - lockorder: the global lock order. Every mutex participating in it
+//     carries a `// lock-rank: N` marker on its declaration — the
+//     database map lock (rank 10), the table structure lock (20), the
+//     partition locks (30, a slice rank that additionally enforces
+//     ascending index order), and the storage registry mutex (40, with
+//     the partition minmax lock at 50). Acquiring a lower rank while
+//     holding a higher one, or partition locks out of index order, is
+//     reported — including through one level of lock-helper calls
+//     (lockPartition, lockAllPartitions, ...).
+//   - snapclose: every snapshot or query-internal capture
+//     (Snapshot, SnapshotTable, ScanAll, ScanPartition, Distinct,
+//     SortQuery, Retain, ...) must reach Close/Release on all paths, so
+//     generation refs cannot be wedged open.
+//   - atomicmix: state accessed via sync/atomic (the NUC Bloom words,
+//     insert-gate counters) is never also accessed with a plain read or
+//     write.
+//   - deferunlock: lock regions with return paths or panic-capable
+//     calls inside use defer for the release.
+//
+// Deliberate exceptions carry a `//pilint:ignore <analyzer> <reason>`
+// comment; the reason is mandatory, and a typoed ignore is itself a
+// diagnostic. Update the marker comments and re-run pilint in the same
+// PR as any locking change.
 package engine
 
 import (
@@ -142,8 +173,10 @@ import (
 // the evaluation comparators (SortKey's physical reorder) bypass the
 // engine and still need external synchronization.
 type Database struct {
-	mu     sync.RWMutex
-	tables map[string]*Table
+	// tablesMu guards the tables map; it is the first lock in the
+	// documented order and is never held across table-level work.
+	tablesMu sync.RWMutex // lock-rank: 10
+	tables   map[string]*Table
 
 	// AutoCheckpoint propagates positional deltas into base storage at
 	// the end of every update query (default true). Disabling it keeps
@@ -195,8 +228,8 @@ func NewDatabase() *Database {
 // so an insert-only checkpoint may append to the live arrays in place
 // without disturbing any snapshot.
 type Table struct {
-	mu    sync.RWMutex
-	pmu   []sync.Mutex // one per partition slot; acquire in index order
+	mu  sync.RWMutex // lock-rank: 20 (table structure lock)
+	pmu []sync.Mutex // lock-rank: 30 — one per partition slot; acquire in index order
 	name  string
 	store *storage.Table
 	delta []*pdt.Delta
@@ -232,8 +265,8 @@ type Table struct {
 
 // CreateTable creates a table with the given schema and partition count.
 func (db *Database) CreateTable(name string, schema storage.Schema, partitions int) (*Table, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.tablesMu.Lock()
+	defer db.tablesMu.Unlock()
 	if _, ok := db.tables[name]; ok {
 		return nil, fmt.Errorf("engine: table %q already exists", name)
 	}
@@ -257,8 +290,8 @@ func (db *Database) CreateTable(name string, schema storage.Schema, partitions i
 
 // Table returns the named table, or nil.
 func (db *Database) Table(name string) *Table {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	db.tablesMu.RLock()
+	defer db.tablesMu.RUnlock()
 	return db.tables[name]
 }
 
@@ -631,13 +664,20 @@ func (t *Table) PatchIndexes(column string) []*core.Index {
 // pinned permanently. Query entry points use releasable snapshots
 // instead.
 func (t *Table) Inputs(column string) []plan.PartitionInput {
+	return t.pinnedColumnSnapshot(column).Inputs(column)
+}
+
+// pinnedColumnSnapshot captures the column's snapshot and permanently
+// pins every partition's current generation, all under the exclusive
+// structure lock.
+func (t *Table) pinnedColumnSnapshot(column string) *TableSnapshot {
 	t.mu.Lock()
+	defer t.mu.Unlock()
 	s := t.snapshotColumnLocked(column)
 	for p := 0; p < t.store.NumPartitions(); p++ {
 		t.store.Pin(p)
 	}
-	t.mu.Unlock()
-	return s.Inputs(column)
+	return s
 }
 
 // ExceptionRate returns the aggregate exception rate of the PatchIndexes

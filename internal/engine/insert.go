@@ -213,48 +213,57 @@ func (db *Database) InsertRowsPartition(table string, partition int, rows []stor
 // re-classification against the count maps decides between the sharded
 // handling and the global collision join.
 func (t *Table) insertPartitioned(db *Database, perPart [][]storage.Row) error {
+	if done := t.insertFastPath(db, perPart); done {
+		return nil
+	}
+	t.fallbackInserts.Add(1)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	// Most fallbacks are filter artifacts (saturation or a false
+	// positive), not real collisions. Under the exclusive lock the
+	// count maps of every partition are readable, so the retry
+	// re-classifies EXACTLY and the O(table) collision join is paid
+	// only when a value genuinely exists in a foreign partition.
+	// The exact plan consults no filters and publishes no bits (the
+	// rejected attempt above already pre-published this batch's
+	// values); saturated filters are rebuilt AFTER the chunks
+	// commit, when the count maps include the batch, so a rebuilt
+	// filter cannot lose its values.
+	if plan, ok := t.planFastInsert(perPart, true); ok {
+		for p := range perPart {
+			if len(perPart[p]) == 0 {
+				continue
+			}
+			t.insertChunkLocked(db, p, perPart[p], plan)
+		}
+		t.publishFastInsert(plan)
+		// Re-publish the batch's filter bits: between the rejected
+		// non-exact attempt (which pre-published them) and this
+		// exclusive section, another exclusive writer may have
+		// rebuilt a saturated filter from count maps that did not
+		// yet include this batch — dropping its bits. Bit-level
+		// adds are idempotent, so the common no-rebuild case only
+		// bumps the sizing counter by one batch.
+		republishBlooms(plan)
+		for _, st := range t.nuc {
+			st.RebuildOverfullBlooms()
+		}
+		return nil
+	}
+	return t.insertExclusiveLocked(db, perPart)
+}
+
+// insertFastPath classifies and commits the batch under the shared
+// structure lock. done=false is a planning rejection (a cross-partition
+// candidate collision); the caller retries under the exclusive lock.
+func (t *Table) insertFastPath(db *Database, perPart [][]storage.Row) (done bool) {
 	t.mu.RLock()
+	defer t.mu.RUnlock()
 	plan, ok := t.planFastInsert(perPart, false)
 	if !ok {
-		t.mu.RUnlock()
-		t.fallbackInserts.Add(1)
-		t.mu.Lock()
-		defer t.mu.Unlock()
-		// Most fallbacks are filter artifacts (saturation or a false
-		// positive), not real collisions. Under the exclusive lock the
-		// count maps of every partition are readable, so the retry
-		// re-classifies EXACTLY and the O(table) collision join is paid
-		// only when a value genuinely exists in a foreign partition.
-		// The exact plan consults no filters and publishes no bits (the
-		// rejected attempt above already pre-published this batch's
-		// values); saturated filters are rebuilt AFTER the chunks
-		// commit, when the count maps include the batch, so a rebuilt
-		// filter cannot lose its values.
-		if plan, ok := t.planFastInsert(perPart, true); ok {
-			for p := range perPart {
-				if len(perPart[p]) == 0 {
-					continue
-				}
-				t.insertChunkLocked(db, p, perPart[p], plan)
-			}
-			t.publishFastInsert(plan)
-			// Re-publish the batch's filter bits: between the rejected
-			// non-exact attempt (which pre-published them) and this
-			// exclusive section, another exclusive writer may have
-			// rebuilt a saturated filter from count maps that did not
-			// yet include this batch — dropping its bits. Bit-level
-			// adds are idempotent, so the common no-rebuild case only
-			// bumps the sizing counter by one batch.
-			republishBlooms(plan)
-			for _, st := range t.nuc {
-				st.RebuildOverfullBlooms()
-			}
-			return nil
-		}
-		return t.insertExclusiveLocked(db, perPart)
+		return false
 	}
 	t.fastInserts.Add(1)
-	defer t.mu.RUnlock()
 	for p := range perPart {
 		if len(perPart[p]) == 0 {
 			continue
@@ -266,7 +275,7 @@ func (t *Table) insertPartitioned(db *Database, perPart [][]storage.Row) error {
 		}()
 	}
 	t.publishFastInsert(plan)
-	return nil
+	return true
 }
 
 // republishBlooms adds every value of the plan's batch to its target

@@ -335,22 +335,9 @@ func (db *Database) Modify(table string, partition int, rowIDs []uint64, column 
 		return fmt.Errorf("engine: table %q has no partition %d", table, partition)
 	}
 
-	// Partition-scoped fast path: when the modified column carries no
-	// NUC index, all maintenance is local to the target partition (NSC
-	// modify handling, the delta, the checkpoint), so only that
-	// partition's lock is needed and modifies of disjoint partitions run
-	// in parallel. The dispatch check stays valid for the duration: index
-	// DDL needs the exclusive structure lock, which the held read lock
-	// excludes.
-	t.mu.RLock()
-	if idx := t.indexes[column]; len(idx) == 0 || idx[0].ConstraintKind() != core.NearlyUnique {
-		t.pmu[partition].Lock()
-		err := t.modifyLocked(db, partition, rowIDs, column, values)
-		t.pmu[partition].Unlock()
-		t.mu.RUnlock()
+	if scoped, err := t.modifyPartitionScoped(db, partition, rowIDs, column, values); scoped {
 		return err
 	}
-	t.mu.RUnlock()
 
 	// NUC maintenance runs the global collision join against every
 	// partition: exclusive structure lock. modifyLocked re-reads the
@@ -359,6 +346,25 @@ func (db *Database) Modify(table string, partition int, rowIDs []uint64, column 
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.modifyLocked(db, partition, rowIDs, column, values)
+}
+
+// modifyPartitionScoped runs the partition-scoped fast path: when the
+// modified column carries no NUC index, all maintenance is local to the
+// target partition (NSC modify handling, the delta, the checkpoint), so
+// only that partition's lock is needed and modifies of disjoint
+// partitions run in parallel. The dispatch check stays valid for the
+// duration: index DDL needs the exclusive structure lock, which the
+// held read lock excludes. scoped=false means the column is
+// NUC-indexed and the caller must take the exclusive path.
+func (t *Table) modifyPartitionScoped(db *Database, partition int, rowIDs []uint64, column string, values []storage.Value) (scoped bool, err error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if idx := t.indexes[column]; len(idx) != 0 && idx[0].ConstraintKind() == core.NearlyUnique {
+		return false, nil
+	}
+	t.pmu[partition].Lock()
+	defer t.pmu[partition].Unlock()
+	return true, t.modifyLocked(db, partition, rowIDs, column, values)
 }
 
 // modifyLocked applies one partition's modify and its index

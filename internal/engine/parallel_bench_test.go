@@ -130,6 +130,7 @@ func runParallelInserts(b *testing.B, workers int, mode insertMode) {
 				case insertFast:
 					err = db.InsertRowsPartition("t", w, rows)
 				case insertSerialized:
+					//pilint:ignore deferunlock deliberate scoped serialization being benchmarked
 					gmu.Lock()
 					err = db.InsertRowsPartition("t", w, rows)
 					gmu.Unlock()
@@ -193,6 +194,7 @@ func runParallelDisjointUpdates(b *testing.B, workers int, serialized bool) {
 					values[j] = storage.I64(int64(w*rowsPerPart + i + j))
 				}
 				if serialized {
+					//pilint:ignore deferunlock conditional serialization being benchmarked; defer cannot be conditional
 					gmu.Lock()
 				}
 				err := db.Modify("t", w, rowIDs, "v", values)

@@ -145,9 +145,11 @@ func TestUnknownTableErrors(t *testing.T) {
 	if err := db.Modify("missing", 0, []uint64{0}, "v", []storage.Value{storage.I64(1)}); err == nil {
 		t.Fatal("Modify on unknown table did not error")
 	}
+	//pilint:ignore snapclose error-path probe; a non-nil operator fails the test
 	if _, err := db.Distinct("missing", "v", QueryOptions{}); err == nil {
 		t.Fatal("Distinct on unknown table did not error")
 	}
+	//pilint:ignore snapclose error-path probe; a non-nil operator fails the test
 	if _, err := db.SortQuery("missing", "v", false, QueryOptions{}); err == nil {
 		t.Fatal("SortQuery on unknown table did not error")
 	}

@@ -125,6 +125,7 @@ func TestEphemeralQuerySnapshotGatesReorder(t *testing.T) {
 	}
 
 	// A rejected query must not leak a ref.
+	//pilint:ignore snapclose error-path probe; a non-nil operator fails the test
 	if _, err := db.Distinct("t", "v", QueryOptions{Mode: PlanPatchIndex}); err == nil {
 		t.Fatal("PlanPatchIndex without an index accepted")
 	}
@@ -140,6 +141,7 @@ func TestEphemeralQuerySnapshotGatesReorder(t *testing.T) {
 				t.Error("ScanAll accepted an unknown column")
 			}
 		}()
+		//pilint:ignore snapclose ScanAll panics before capturing a ref here
 		tb.ScanAll("missing")
 	}()
 	if !reorderable(tb) {
@@ -175,6 +177,40 @@ func TestSnapshotCloseReleasesExactlyOnce(t *testing.T) {
 	}
 }
 
+// TestScanPartitionErrorPathRetainsNoRefs: sibling of the double-Close
+// test above for the construction side — a ScanPartition call that
+// fails validation (unknown column, out-of-range partition) must
+// retain nothing, leaving LiveSnapshotRefs at zero once every
+// successful query has drained. This is exactly the leak shape the
+// snapclose analyzer flags statically; this test pins it dynamically.
+func TestScanPartitionErrorPathRetainsNoRefs(t *testing.T) {
+	db := newDB(t)
+	tb := singleColTable(t, db, "t", seq(40), 2)
+
+	// A successful scan takes a ref and releases it at drain.
+	op, err := tb.ScanPartition(0, "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CollectInt64(op); err != nil {
+		t.Fatal(err)
+	}
+
+	// Failed constructions must not take one at all.
+	//pilint:ignore snapclose error-path probe; a non-nil operator fails the test
+	if _, err := tb.ScanPartition(0, "missing"); err == nil {
+		t.Fatal("ScanPartition accepted an unknown column")
+	}
+	//pilint:ignore snapclose error-path probe; a non-nil operator fails the test
+	if _, err := tb.ScanPartition(len(tb.pmu), "v"); err == nil {
+		t.Fatal("ScanPartition accepted an out-of-range partition")
+	}
+
+	if n := tb.Store().LiveSnapshotRefs(); n != 0 {
+		t.Fatalf("LiveSnapshotRefs after error-path constructions = %d, want 0", n)
+	}
+}
+
 // TestSnapshotTableError: the snapshot API returns errors for unknown
 // tables instead of panicking.
 func TestSnapshotTableError(t *testing.T) {
@@ -190,6 +226,7 @@ func TestSnapshotTableError(t *testing.T) {
 	}
 	snap.Close()
 
+	//pilint:ignore snapclose error-path probe; a non-nil snapshot fails the test
 	if _, err := db.SnapshotTable("missing"); err == nil {
 		t.Fatal("SnapshotTable accepted an unknown table")
 	}

@@ -140,21 +140,31 @@ type DatabaseSnapshot struct {
 func (db *Database) Snapshot(names ...string) (*DatabaseSnapshot, error) {
 	uniq := append([]string(nil), names...)
 	sort.Strings(uniq)
+	tabs, err := db.resolveTables(uniq)
+	if err != nil {
+		return nil, err
+	}
+	return snapshotTables(tabs), nil
+}
+
+// resolveTables maps sorted names (duplicates allowed, skipped) to
+// their tables under the map lock, which is released before any table
+// lock is taken.
+func (db *Database) resolveTables(uniq []string) ([]*Table, error) {
+	db.tablesMu.RLock()
+	defer db.tablesMu.RUnlock()
 	tabs := make([]*Table, 0, len(uniq))
-	db.mu.RLock()
 	for i, name := range uniq {
 		if i > 0 && uniq[i-1] == name {
 			continue
 		}
 		t := db.tables[name]
 		if t == nil {
-			db.mu.RUnlock()
 			return nil, fmt.Errorf("engine: unknown table %q in database snapshot", name)
 		}
 		tabs = append(tabs, t)
 	}
-	db.mu.RUnlock()
-	return snapshotTables(tabs), nil
+	return tabs, nil
 }
 
 // MustSnapshot is Snapshot, panicking on unknown table names.
@@ -168,12 +178,12 @@ func (db *Database) MustSnapshot(names ...string) *DatabaseSnapshot {
 
 // SnapshotAll atomically captures every table of the database.
 func (db *Database) SnapshotAll() *DatabaseSnapshot {
-	db.mu.RLock()
+	db.tablesMu.RLock()
 	tabs := make([]*Table, 0, len(db.tables))
 	for _, t := range db.tables {
 		tabs = append(tabs, t)
 	}
-	db.mu.RUnlock()
+	db.tablesMu.RUnlock()
 	sort.Slice(tabs, func(i, j int) bool { return tabs[i].name < tabs[j].name })
 	return snapshotTables(tabs)
 }

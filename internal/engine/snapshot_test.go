@@ -43,6 +43,7 @@ func TestSnapshotSeesPreInsertState(t *testing.T) {
 				t.Fatal(err)
 			}
 			snap := tb.Snapshot()
+			defer snap.Close()
 
 			rows := make([]storage.Row, 20)
 			for i := range rows {
@@ -86,6 +87,7 @@ func TestSnapshotSeesPreDeleteState(t *testing.T) {
 		t.Fatal(err)
 	}
 	snap := tb.Snapshot()
+	defer snap.Close()
 	want := collectSorted(t, db, "t", "v", QueryOptions{Mode: PlanPatchIndex})
 
 	if _, err := db.DeleteWhereInt64("t", "v", func(v int64) bool { return v%2 == 0 }); err != nil {
@@ -118,6 +120,7 @@ func TestSnapshotSeesPreModifyState(t *testing.T) {
 		t.Fatal(err)
 	}
 	snap := tb.Snapshot()
+	defer snap.Close()
 
 	if err := db.Modify("t", 0, []uint64{0, 1}, "v", []storage.Value{storage.I64(1000), storage.I64(1001)}); err != nil {
 		t.Fatal(err)
@@ -364,6 +367,7 @@ func TestDatabaseSnapshotAtomicAcrossTables(t *testing.T) {
 	if got := snap.MustTable("a").NumRows() + snap.MustTable("b").NumRows(); got != 20 {
 		t.Fatalf("snapshot rows = %d, want 20", got)
 	}
+	//pilint:ignore snapclose error-path probe; a non-nil snapshot fails the test
 	if _, err := db.Snapshot("a", "missing"); err == nil {
 		t.Fatal("unknown table accepted")
 	}
@@ -424,22 +428,18 @@ func TestDatabaseSnapshotJoinPrefixConsistent(t *testing.T) {
 		wg.Add(1)
 		go func() { // reader
 			defer wg.Done()
-			for {
-				select {
-				case <-done:
-					return
-				default:
-				}
+			checkOnce := func() bool {
 				snap := db.MustSnapshot("lineitem", "orders")
+				defer snap.Close()
 				dimVals, err := CollectInt64(snap.MustTable("orders").ScanAll("v"))
 				if err != nil {
 					t.Error(err)
-					return
+					return false
 				}
 				factVals, err := CollectInt64(snap.MustTable("lineitem").ScanAll("v"))
 				if err != nil {
 					t.Error(err)
-					return
+					return false
 				}
 				dimSet := make(map[int64]bool, len(dimVals))
 				for _, v := range dimVals {
@@ -448,15 +448,13 @@ func TestDatabaseSnapshotJoinPrefixConsistent(t *testing.T) {
 				for _, v := range factVals {
 					if !dimSet[v] {
 						t.Errorf("fact key %d has no dimension partner in the snapshot", v)
-						snap.Close()
-						return
+						return false
 					}
 				}
 				// Extras of each table must be whole batches (atomic inserts).
 				if (len(dimVals)-n)%k != 0 || (len(factVals)-n)%k != 0 {
 					t.Errorf("partial batch captured: dim %d fact %d", len(dimVals), len(factVals))
-					snap.Close()
-					return
+					return false
 				}
 				// The same holds through an actual join over the snapshot:
 				// inner-joining fact against dim must keep every fact row.
@@ -466,14 +464,23 @@ func TestDatabaseSnapshotJoinPrefixConsistent(t *testing.T) {
 				joined, err := exec.Collect(join)
 				if err != nil {
 					t.Error(err)
-					return
+					return false
 				}
 				if len(joined) != len(factVals) {
 					t.Errorf("snapshot join lost rows: %d joined, %d fact", len(joined), len(factVals))
-					snap.Close()
+					return false
+				}
+				return true
+			}
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if !checkOnce() {
 					return
 				}
-				snap.Close()
 			}
 		}()
 	}

@@ -12,7 +12,7 @@ type Partition struct {
 	schema Schema
 	cols   []*Column
 
-	mmMu   sync.Mutex // guards minmax: frozen partitions are read concurrently
+	mmMu   sync.Mutex // lock-rank: 50 — guards minmax: frozen partitions are read concurrently
 	minmax []*MinMax  // per column, int64 columns only, nil until built
 }
 
@@ -178,7 +178,9 @@ type Table struct {
 	// gens, so SetPartition may race Retain/Pin/Release at the storage
 	// level; readers of a partition's *contents* still need the engine's
 	// partition lock (or exclusive ownership) to serialize with swaps.
-	regMu sync.Mutex
+	// It ranks below the engine's locks and must never be held while
+	// calling back up into the engine.
+	regMu sync.Mutex // lock-rank: 40
 	gens  []uint64 // current generation per partition slot
 	// snaps holds the closable snapshot refcounts (Retain), pins the
 	// permanent ones (Pin), both per partition: generation -> refcount.

@@ -323,25 +323,21 @@ func TestSnapshotQueriesUnderRefreshStream(t *testing.T) {
 	wg.Add(1)
 	go func() { // reader
 		defer wg.Done()
-		for {
-			select {
-			case <-done:
-				return
-			default:
-			}
+		checkOnce := func() bool {
 			snap := ds.Snapshot()
 			q := ds.QueriesAt(snap)
+			defer q.Close() // closes snap
 
 			// Cross-table prefix consistency of the captured instant.
 			liKeys, err := engine.CollectInt64(snap.MustTable("lineitem").ScanAll("l_orderkey"))
 			if err != nil {
 				t.Error(err)
-				return
+				return false
 			}
 			ordKeys, err := engine.CollectInt64(snap.MustTable("orders").ScanAll("o_orderkey"))
 			if err != nil {
 				t.Error(err)
-				return
+				return false
 			}
 			ordSet := make(map[int64]bool, len(ordKeys))
 			for _, k := range ordKeys {
@@ -350,8 +346,7 @@ func TestSnapshotQueriesUnderRefreshStream(t *testing.T) {
 			for _, k := range liKeys {
 				if !ordSet[k] {
 					t.Errorf("snapshot holds lineitem with orderkey %d but no such order", k)
-					snap.Close()
-					return
+					return false
 				}
 			}
 
@@ -360,29 +355,38 @@ func TestSnapshotQueriesUnderRefreshStream(t *testing.T) {
 			refOp, err := q.Q12(ModeReference, nil)
 			if err != nil {
 				t.Error(err)
-				return
+				return false
 			}
 			want, err := ResultRows(refOp)
 			if err != nil {
 				t.Error(err)
-				return
+				return false
 			}
 			piOp, err := q.Q12(ModePatchIndex, nil)
 			if err != nil {
 				t.Error(err)
-				return
+				return false
 			}
 			got, err := ResultRows(piOp)
 			if err != nil {
 				t.Error(err)
-				return
+				return false
 			}
 			if rowsKey(sortRows(got)) != rowsKey(sortRows(want)) {
 				t.Error("Q12 plans disagree on one snapshot under refresh load")
-				snap.Close()
+				return false
+			}
+			return true
+		}
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if !checkOnce() {
 				return
 			}
-			snap.Close()
 		}
 	}()
 	wg.Wait()
@@ -439,6 +443,7 @@ func TestJoinIndexPlanSurvivesRefreshAfterBuild(t *testing.T) {
 	ds := smallDataset(t, 0.05)
 	ji := ds.CreateJoinIndex()
 	q := ds.QueriesAt(ds.Snapshot())
+	defer q.Close()
 	beforeOp := mustOp(t)(q.Q3(ModeJoinIndex, ji)) // captures+pins the refs
 	pendingOp := mustOp(t)(q.Q3(ModeJoinIndex, ji))
 	want, err := ResultRows(beforeOp) // drained before the refresh
