@@ -11,7 +11,9 @@
 //	pibench -quick                  # smoke-test scale
 //
 // Experiments: fig1, fig6, table2, fig7, fig8, fig9, table3, fig10,
-// fig11, all.
+// fig11, daemon, all. (daemon is an extension beyond the paper: the
+// self-managing maintenance daemon under insert/delete churn, with its
+// repair-action counters.)
 package main
 
 import (
@@ -24,7 +26,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id: fig1|fig6|table2|fig7|fig8|fig9|table3|fig10|fig11|all")
+		exp     = flag.String("exp", "all", "experiment id: fig1|fig6|table2|fig7|fig8|fig9|table3|fig10|fig11|daemon|all")
 		rows    = flag.Int("rows", 0, "microbenchmark table rows (0 = default scale)")
 		sf      = flag.Float64("sf", 0, "TPC-H scale factor (0 = default scale)")
 		bits    = flag.Uint64("bits", 0, "sharded bitmap size in bits (0 = default scale)")
@@ -61,8 +63,9 @@ func main() {
 		"table3": func() { experiments.RunTable3(w, scale) },
 		"fig10":  func() { experiments.RunFig10(w, scale) },
 		"fig11":  func() { experiments.RunFig11(w, scale) },
+		"daemon": func() { experiments.RunDaemon(w, scale) },
 	}
-	order := []string{"fig1", "fig6", "table2", "fig7", "fig8", "table3", "fig9", "fig10", "fig11"}
+	order := []string{"fig1", "fig6", "table2", "fig7", "fig8", "table3", "fig9", "fig10", "fig11", "daemon"}
 
 	if *exp == "all" {
 		for _, id := range order {

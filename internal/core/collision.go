@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync"
 	"sync/atomic"
 
 	"patchindex/internal/bloom"
@@ -40,20 +41,58 @@ import (
 //     redundant fallback; false negatives cannot occur (the filter only
 //     ever grows), so no violation is missed.
 //
+// # The in-flight pre-publication ledger
+//
+// A filter is not purely add-only: when its add count outgrows its
+// sizing, it is REBUILT from the live value counts (RebuildBloomPartition
+// / RebuildOverfullBlooms). That rebuild races the insert fast path's
+// optimistic pre-publication: a batch adds its values to the target
+// partition's filter BEFORE committing them to the count maps, so a
+// rebuild sourced from the counts alone would drop the pre-published
+// bits — and a batch racing the pre-publisher could miss the collision
+// the ordering protocol promises it will see. Every pre-published value
+// therefore also enters the partition's in-flight ledger (a small
+// mutex-guarded refcount map) and leaves it only after its count-map
+// commit; a rebuild re-applies the ledgered values into the fresh
+// filter under the ledger mutex before atomically swapping the filter
+// pointer in. The ordering makes the window airtight: PrePublish
+// ledgers first (under the mutex), then loads the filter pointer —
+// so a pre-publisher either lands its bit in the filter a rebuild
+// keeps, or its ledger entry is visible to the rebuild's re-apply
+// scan, or it loads the already-swapped fresh filter.
+//
 // Synchronization is the caller's job and mirrors the engine's insert
-// protocol: local maps follow partition ownership; sealed-set swaps and
-// bloom mutations happen only in contexts that exclude concurrent
-// probers (the exclusive structure lock, or the shared lock plus the
-// insert gate); Sealed() alone is safe from anywhere.
+// protocol: local maps follow partition ownership; sealed-set swaps
+// happen lock-free from anywhere; filter probes, pre-publication, and
+// Unpublish are safe from any context; plain AddBloom and the filter
+// rebuilds require owning the target partition (rebuilds additionally
+// rely on partition ownership to serialize against each other).
+// Sealed() alone is safe from anywhere.
 type NUCState struct {
 	localInt []map[int64]uint32
 	localStr []map[string]uint32
 	isString bool
 
-	blooms   []*bloom.Filter
-	bloomCap []int // expected-element sizing of blooms[p] at last (re)build
+	blooms   []atomic.Pointer[partitionBloom]
+	inflight []inflightLedger
 
 	sealed atomic.Pointer[NUCExceptions]
+}
+
+// partitionBloom bundles one partition's filter with the
+// expected-element sizing it was built for, so the pair swaps
+// atomically on rebuild.
+type partitionBloom struct {
+	f   *bloom.Filter
+	cap int
+}
+
+// inflightLedger tracks one partition's pre-published-but-uncommitted
+// filter keys: bloom key → number of in-flight batches carrying it. The
+// mutex is leaf-level: nothing is acquired under it.
+type inflightLedger struct {
+	mu   sync.Mutex
+	keys map[int64]int
 }
 
 // NUCExceptions is one immutable snapshot of the sealed global exception
@@ -103,12 +142,12 @@ func hashString(v string) int64 {
 // full load and becomes negligible right after a rebuild. The 4x
 // headroom halves the number of saturation→rebuild cycles an insert
 // stream goes through relative to 2x.
-func bloomFor(n int) (*bloom.Filter, int) {
+func bloomFor(n int) *partitionBloom {
 	capn := 4 * n
 	if capn < 1024 {
 		capn = 1024
 	}
-	return bloom.New(capn, 1e-5), capn
+	return &partitionBloom{f: bloom.New(capn, 1e-5), cap: capn}
 }
 
 // NewNUCStateInt64 builds the collision state of an int64 column from
@@ -117,8 +156,8 @@ func bloomFor(n int) (*bloom.Filter, int) {
 func NewNUCStateInt64(counts []map[int64]uint32) *NUCState {
 	st := &NUCState{
 		localInt: make([]map[int64]uint32, len(counts)),
-		blooms:   make([]*bloom.Filter, len(counts)),
-		bloomCap: make([]int, len(counts)),
+		blooms:   make([]atomic.Pointer[partitionBloom], len(counts)),
+		inflight: make([]inflightLedger, len(counts)),
 	}
 	for p, c := range counts {
 		cp := make(map[int64]uint32, len(c))
@@ -128,10 +167,12 @@ func NewNUCStateInt64(counts []map[int64]uint32) *NUCState {
 			n += int(k)
 		}
 		st.localInt[p] = cp
-		st.blooms[p], st.bloomCap[p] = bloomFor(n)
+		pb := bloomFor(n)
 		for v := range cp {
-			st.blooms[p].Add(v)
+			pb.f.Add(v)
 		}
+		st.blooms[p].Store(pb)
+		st.inflight[p].keys = make(map[int64]int)
 	}
 	st.sealed.Store(&NUCExceptions{ints: MergeNUCDuplicatesInt64(counts)})
 	return st
@@ -142,8 +183,8 @@ func NewNUCStateString(counts []map[string]uint32) *NUCState {
 	st := &NUCState{
 		localStr: make([]map[string]uint32, len(counts)),
 		isString: true,
-		blooms:   make([]*bloom.Filter, len(counts)),
-		bloomCap: make([]int, len(counts)),
+		blooms:   make([]atomic.Pointer[partitionBloom], len(counts)),
+		inflight: make([]inflightLedger, len(counts)),
 	}
 	for p, c := range counts {
 		cp := make(map[string]uint32, len(c))
@@ -153,10 +194,12 @@ func NewNUCStateString(counts []map[string]uint32) *NUCState {
 			n += int(k)
 		}
 		st.localStr[p] = cp
-		st.blooms[p], st.bloomCap[p] = bloomFor(n)
+		pb := bloomFor(n)
 		for v := range cp {
-			st.blooms[p].Add(hashString(v))
+			pb.f.Add(hashString(v))
 		}
+		st.blooms[p].Store(pb)
+		st.inflight[p].keys = make(map[int64]int)
 	}
 	st.sealed.Store(&NUCExceptions{strs: MergeNUCDuplicatesString(counts)})
 	return st
@@ -229,26 +272,26 @@ func (st *NUCState) GlobalCountString(v string) uint64 {
 // PartitionMayContainInt64 probes partition q's Bloom filter for v with
 // a lock-free atomic read. A false answer is definitive for values
 // whose adds happened-before the probe; for adds racing the probe, the
-// insert protocol's pre-publication ordering (add your own values
-// before probing for foreign ones — sync/atomic's sequential
+// insert protocol's pre-publication ordering (ledger and add your own
+// values before probing for foreign ones — sync/atomic's sequential
 // consistency forbids two racing batches from both missing each other)
 // supplies the guarantee.
 func (st *NUCState) PartitionMayContainInt64(q int, v int64) bool {
-	return st.blooms[q].MayContainConcurrent(v)
+	return st.blooms[q].Load().f.MayContainConcurrent(v)
 }
 
 // PartitionMayContainString is PartitionMayContainInt64 for string
 // columns.
 func (st *NUCState) PartitionMayContainString(q int, v string) bool {
-	return st.blooms[q].MayContainConcurrent(hashString(v))
+	return st.blooms[q].Load().f.MayContainConcurrent(hashString(v))
 }
 
 // ForeignMayContainInt64 probes the Bloom filters of every partition
 // except p for v: true means v may exist in another partition — a
 // cross-partition candidate collision.
 func (st *NUCState) ForeignMayContainInt64(p int, v int64) bool {
-	for q, f := range st.blooms {
-		if q != p && f.MayContainConcurrent(v) {
+	for q := range st.blooms {
+		if q != p && st.blooms[q].Load().f.MayContainConcurrent(v) {
 			return true
 		}
 	}
@@ -258,8 +301,8 @@ func (st *NUCState) ForeignMayContainInt64(p int, v int64) bool {
 // ForeignMayContainString is ForeignMayContainInt64 for string columns.
 func (st *NUCState) ForeignMayContainString(p int, v string) bool {
 	h := hashString(v)
-	for q, f := range st.blooms {
-		if q != p && f.MayContainConcurrent(h) {
+	for q := range st.blooms {
+		if q != p && st.blooms[q].Load().f.MayContainConcurrent(h) {
 			return true
 		}
 	}
@@ -267,12 +310,69 @@ func (st *NUCState) ForeignMayContainString(p int, v string) bool {
 }
 
 // AddBloomInt64 registers an inserted occurrence of v in partition p's
-// filter, with atomic word updates — safe concurrently with probes and
-// with other adders.
-func (st *NUCState) AddBloomInt64(p int, v int64) { st.blooms[p].AddConcurrent(v) }
+// filter, with atomic word updates — safe concurrently with probes. The
+// caller owns partition p (which excludes a concurrent rebuild of p's
+// filter); values added before their count-map commit must use
+// PrePublish instead, or a rebuild may drop them.
+func (st *NUCState) AddBloomInt64(p int, v int64) { st.blooms[p].Load().f.AddConcurrent(v) }
 
 // AddBloomString is AddBloomInt64 for string columns.
-func (st *NUCState) AddBloomString(p int, v string) { st.blooms[p].AddConcurrent(hashString(v)) }
+func (st *NUCState) AddBloomString(p int, v string) {
+	st.blooms[p].Load().f.AddConcurrent(hashString(v))
+}
+
+// prePublish ledgers one in-flight occurrence of key in partition p and
+// sets its filter bits. The ledger entry precedes the filter load, so a
+// concurrent rebuild either keeps the bits (re-applying the ledger) or
+// this publisher lands them in the rebuilt filter itself.
+func (st *NUCState) prePublish(p int, key int64) {
+	led := &st.inflight[p]
+	led.mu.Lock()
+	led.keys[key]++
+	led.mu.Unlock()
+	st.blooms[p].Load().f.AddConcurrent(key)
+}
+
+// unpublish retires one in-flight occurrence of key in partition p. The
+// filter bits stay (the filter is a superset structure); only the
+// rebuild protection lapses, which is correct once the occurrence is
+// committed to the count maps.
+func (st *NUCState) unpublish(p int, key int64) {
+	led := &st.inflight[p]
+	led.mu.Lock()
+	if n := led.keys[key]; n <= 1 {
+		delete(led.keys, key)
+	} else {
+		led.keys[key] = n - 1
+	}
+	led.mu.Unlock()
+}
+
+// PrePublishInt64 registers an in-flight occurrence of v in partition
+// p's filter AND its pre-publication ledger — the fast-path insert's
+// publication primitive. Safe from any context (no partition ownership
+// needed). The caller must pair it with exactly one UnpublishInt64
+// after v's count-map commit (or after abandoning the batch under a
+// lock that excludes rebuilds of p).
+func (st *NUCState) PrePublishInt64(p int, v int64) { st.prePublish(p, v) }
+
+// PrePublishString is PrePublishInt64 for string columns.
+func (st *NUCState) PrePublishString(p int, v string) { st.prePublish(p, hashString(v)) }
+
+// UnpublishInt64 retires one PrePublishInt64 registration.
+func (st *NUCState) UnpublishInt64(p int, v int64) { st.unpublish(p, v) }
+
+// UnpublishString retires one PrePublishString registration.
+func (st *NUCState) UnpublishString(p int, v string) { st.unpublish(p, hashString(v)) }
+
+// PendingPublications returns the number of distinct ledgered keys of
+// partition p — a diagnostic for tests asserting the ledger drains.
+func (st *NUCState) PendingPublications(p int) int {
+	led := &st.inflight[p]
+	led.mu.Lock()
+	defer led.mu.Unlock()
+	return len(led.keys)
+}
 
 // SealDuplicatesInt64 publishes newly duplicated values into a fresh
 // exception-set snapshot. The swap is a compare-and-swap loop, so
@@ -318,39 +418,56 @@ func (st *NUCState) SealDuplicatesString(vals []string) {
 	}
 }
 
+// RebuildBloomPartition rebuilds partition p's filter when its add
+// count outgrew its sizing, sourcing the fresh filter from the live
+// value set of p's count map PLUS the in-flight pre-publication ledger,
+// and swapping it in atomically. The caller owns partition p (partition
+// lock, or the exclusive structure lock) — that ownership serializes
+// rebuilds of p against each other and against count-map writers, so
+// any occurrence missing from the counts still holds its ledger entry
+// when the re-apply scan runs. Concurrent probes and pre-publications
+// need no lock at all. Returns whether a rebuild happened.
+func (st *NUCState) RebuildBloomPartition(p int) bool {
+	cur := st.blooms[p].Load()
+	if int(cur.f.Added()) <= cur.cap {
+		return false
+	}
+	var n int
+	if st.isString {
+		for _, k := range st.localStr[p] {
+			n += int(k)
+		}
+	} else {
+		for _, k := range st.localInt[p] {
+			n += int(k)
+		}
+	}
+	pb := bloomFor(n)
+	if st.isString {
+		for v := range st.localStr[p] {
+			pb.f.Add(hashString(v))
+		}
+	} else {
+		for v := range st.localInt[p] {
+			pb.f.Add(v)
+		}
+	}
+	led := &st.inflight[p]
+	led.mu.Lock()
+	defer led.mu.Unlock()
+	for k := range led.keys {
+		pb.f.Add(k)
+	}
+	st.blooms[p].Store(pb)
+	return true
+}
+
 // RebuildOverfullBlooms rebuilds every partition filter whose add count
-// outgrew its sizing, from the live value set of the local maps. Safe
-// only where the caller owns EVERY partition (the exclusive structure
-// lock): local maps of all partitions are read. Fast-path publication
-// cannot rebuild (it owns no partition), so a saturated filter degrades
-// into fallbacks until the next exclusive-lock insert heals it — the
-// fallback itself runs under the exclusive lock and calls this, making
-// the degradation self-limiting.
+// outgrew its sizing. Safe only where the caller owns EVERY partition
+// (the exclusive structure lock); partition-scoped maintenance uses
+// RebuildBloomPartition under one partition's lock instead.
 func (st *NUCState) RebuildOverfullBlooms() {
-	for p, f := range st.blooms {
-		if int(f.Added()) <= st.bloomCap[p] {
-			continue
-		}
-		var n int
-		if st.isString {
-			for _, k := range st.localStr[p] {
-				n += int(k)
-			}
-		} else {
-			for _, k := range st.localInt[p] {
-				n += int(k)
-			}
-		}
-		nf, capn := bloomFor(n)
-		if st.isString {
-			for v := range st.localStr[p] {
-				nf.Add(hashString(v))
-			}
-		} else {
-			for v := range st.localInt[p] {
-				nf.Add(v)
-			}
-		}
-		st.blooms[p], st.bloomCap[p] = nf, capn
+	for p := range st.blooms {
+		st.RebuildBloomPartition(p)
 	}
 }

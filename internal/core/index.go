@@ -129,6 +129,30 @@ func New(constraint Constraint, rows uint64, patches []uint64, opts Options) *In
 // ConstraintKind returns the maintained constraint.
 func (x *Index) ConstraintKind() Constraint { return x.constraint }
 
+// AdoptState replaces the index's mutable state — covered-row count,
+// patch storage, NSC sorted-run bookkeeping — with fresh's, leaving the
+// constraint kind and construction options untouched. This is how a
+// maintenance rebuild installs a rediscovered slot: the engine hands out
+// the same per-partition *Index pointers for the life of the index, and
+// concurrent readers in other lock domains consult a representative
+// slot's immutable fields (constraint kind, options) without holding
+// that slot's partition lock — so a rebuild must mutate the existing
+// object under the partition lock, never swap the pointer. Frozen
+// copies sharing the previous patch storage keep it; fresh's storage is
+// adopted wholesale.
+func (x *Index) AdoptState(fresh *Index) {
+	if fresh.constraint != x.constraint || fresh.opts.Design != x.opts.Design {
+		panic("core: AdoptState across constraint kinds or designs")
+	}
+	x.rows = fresh.rows
+	x.bm = fresh.bm
+	x.ids = fresh.ids
+	x.idsShared = fresh.idsShared
+	x.np = fresh.np
+	x.lastValue = fresh.lastValue
+	x.hasLastValue = fresh.hasLastValue
+}
+
 // DesignKind returns the patch representation in use.
 func (x *Index) DesignKind() Design { return x.opts.Design }
 
@@ -146,6 +170,10 @@ func (x *Index) ExceptionRate() float64 {
 	}
 	return float64(x.np) / float64(x.rows)
 }
+
+// Options returns the construction options, so maintenance can rebuild
+// an index slot with the same design, shard layout, and thresholds.
+func (x *Index) Options() Options { return x.opts }
 
 // NeedsRecompute reports whether the exception rate exceeds the
 // configured monitoring threshold — the trigger for a global

@@ -44,7 +44,18 @@
 // ones included; partition-granular reorders (Table.ExclusivePartition)
 // only while a ref holds the target partition's current generation — a
 // SortKey rebuild of one partition proceeds while a query drains a
-// sibling.
+// sibling. The Exclusive* guards hand out raw storage and leave engine
+// metadata alone; reorders of PatchIndex-carrying tables go through
+// Table.ReorderStorage / Table.ReorderPartition (reorg.go) instead,
+// which wrap the same refusal (both wrap ErrSnapshotCaptured, the
+// retryable-refusal sentinel) in the metadata re-anchoring protocol:
+// pending deltas are checkpointed FIRST (their positions refer to
+// pre-reorder rows), and after the permutation the minmax summaries are
+// invalidated and every index slot is recomputed from the new physical
+// order — in place via core.Index.AdoptState, never by swapping the
+// slot pointer, because readers in other lock domains consult a
+// representative slot's immutable constraint kind without holding that
+// slot's partition lock.
 //
 // # Per-partition write locking
 //
@@ -97,6 +108,30 @@
 // multi-partition batch's chunks (each chunk atomically); Insert and
 // single-partition batches remain all-or-nothing. See insert.go for the
 // full protocol.
+//
+// # The maintenance daemon
+//
+// Database.StartMaintainer installs the self-managing maintenance
+// daemon (maintainer.go): a single background goroutine that samples
+// per-partition index health (PartitionIndexStats,
+// PartitionSortedness) and repairs decayed slots — re-sorting via a
+// registered sort-key reorderer, recomputing or condensing index
+// slots, rebuilding saturated NUC collision filters, and optionally
+// adopting PatchIndexes on discovered near-unique columns. Its lock
+// discipline is deliberately boring: the daemon is an ordinary engine
+// client. It calls only exported entry points, holds no lock of its
+// own across any engine call (its registry mutex is leaf-level and
+// never held across repairs), and never holds anything while sleeping.
+// Repairs refused because a live snapshot captures the target
+// (errors.Is ErrSnapshotCaptured) are retried a bounded number of
+// times with doubling backoff and then abandoned until the next sweep
+// — the daemon never blocks writers or queries, and nothing ever
+// waits for the daemon. Shutdown contract: Database.Close (or
+// Maintainer.Stop, both idempotent) signals the goroutine and joins
+// it, cutting any in-progress backoff sleep short; after Close
+// returns, no daemon-initiated repair is running or will start, so
+// quiescent checks can read table state without further
+// synchronization.
 //
 // # Mechanically enforced invariants
 //
@@ -178,6 +213,10 @@ type Database struct {
 	tablesMu sync.RWMutex // lock-rank: 10
 	tables   map[string]*Table
 
+	// maint is the database's maintenance daemon, installed once by
+	// StartMaintainer and stopped by Close (see maintainer.go).
+	maint atomic.Pointer[Maintainer]
+
 	// AutoCheckpoint propagates positional deltas into base storage at
 	// the end of every update query (default true). Disabling it keeps
 	// updates purely in-memory, as the PDT-based system does between
@@ -228,8 +267,8 @@ func NewDatabase() *Database {
 // so an insert-only checkpoint may append to the live arrays in place
 // without disturbing any snapshot.
 type Table struct {
-	mu  sync.RWMutex // lock-rank: 20 (table structure lock)
-	pmu []sync.Mutex // lock-rank: 30 — one per partition slot; acquire in index order
+	mu    sync.RWMutex // lock-rank: 20 (table structure lock)
+	pmu   []sync.Mutex // lock-rank: 30 — one per partition slot; acquire in index order
 	name  string
 	store *storage.Table
 	delta []*pdt.Delta
@@ -252,9 +291,16 @@ type Table struct {
 
 	// fastInserts / fallbackInserts count InsertRows batches that took
 	// the partition-parallel path vs fell back to the exclusive-lock
-	// collision join (see InsertStats).
+	// exact retry (see InsertStats).
 	fastInserts     atomic.Uint64
 	fallbackInserts atomic.Uint64
+
+	// collisionJoins counts executions of the global collision handling
+	// (the Fig. 5 join and its string-column equivalent) — the paper's
+	// Insert/Modify path of record. The partition-parallel insert path
+	// never runs it (its exact retry patches foreign partitions from
+	// the count maps); CollisionJoins lets tests pin that.
+	collisionJoins atomic.Uint64
 
 	// blooms[column] holds optional per-partition Bloom filters over a
 	// NUC column's values (see EnableBloomFilter); bloomSkips counts the
@@ -470,7 +516,7 @@ func (t *Table) ExclusiveStorage(fn func(*storage.Table) error) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if n := t.store.LiveSnapshotRefs(); n > 0 {
-		return fmt.Errorf("engine: table %q has %d live snapshot ref(s) (explicit or in-flight query); close/drain them before physically reordering storage", t.name, n)
+		return fmt.Errorf("engine: table %q (%d live ref(s)) is %w; close/drain them before physically reordering storage", t.name, n, ErrSnapshotCaptured)
 	}
 	return fn(t.store)
 }
@@ -493,7 +539,7 @@ func (t *Table) ExclusivePartition(p int, fn func(*storage.Table) error) error {
 	t.lockPartition(p)
 	defer t.unlockPartition(p)
 	if t.store.PartitionRetained(p) {
-		return fmt.Errorf("engine: partition %d of table %q is captured by a live snapshot (explicit or in-flight query); close/drain it before physically reordering the partition", p, t.name)
+		return fmt.Errorf("engine: partition %d of table %q is %w; close/drain it before physically reordering the partition", p, t.name, ErrSnapshotCaptured)
 	}
 	return fn(t.store)
 }

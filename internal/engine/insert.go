@@ -67,9 +67,16 @@ type fastInsertCol struct {
 	intVals [][]int64
 	strVals [][]string
 	// knownPatch[p][i]: the i-th row of partition p's chunk is a patch
-	// known before any partition work — its value is sealed or occurs
-	// more than once within the batch itself.
+	// known before any partition work — its value is sealed, occurs
+	// more than once within the batch itself, or (exact mode) already
+	// exists in a foreign partition.
 	knownPatch [][]bool
+	// foreignHits[q] (exact mode only): batch values that already occur
+	// in foreign partition q per the count maps — real cross-partition
+	// collisions. The retry patches q's existing occurrences straight
+	// from these sets instead of re-running the Fig. 5 global join.
+	foreignHitsInt map[int]map[int64]struct{}
+	foreignHitsStr map[int]map[string]struct{}
 	// dupTargets maps a batch-internal duplicate value to the set of
 	// partitions the batch inserts it into: those partitions are
 	// excluded from the value's foreign probes (the pre-published bits
@@ -104,6 +111,13 @@ func (pl *fastInsertPlan) colIndex(column string) int {
 func (t *Table) InsertStats() (fast, fallback uint64) {
 	return t.fastInserts.Load(), t.fallbackInserts.Load()
 }
+
+// CollisionJoins reports how many global collision handling queries
+// (the Fig. 5 join, or its string-column equivalent) the table has run.
+// Insert and NUC-column Modify are its only sources; the
+// partition-parallel insert path resolves even real cross-partition
+// collisions from the count maps without it.
+func (t *Table) CollisionJoins() uint64 { return t.collisionJoins.Load() }
 
 // roundRobin distributes rows over partitions the way Insert always
 // has: row i goes to partition i mod nparts.
@@ -210,58 +224,65 @@ func (db *Database) InsertRowsPartition(table string, partition int, rows []stor
 // rejection — a cross-partition candidate collision, including a value
 // raced by a concurrent batch and seen through its pre-published
 // filter bits — falls back to the exclusive lock, where an exact
-// re-classification against the count maps decides between the sharded
-// handling and the global collision join.
+// re-classification against the count maps resolves even REAL
+// cross-partition collisions shardedly: the colliding values are known
+// per foreign partition, so their existing occurrences are patched by
+// per-partition value scans, never the Fig. 5 global join (which stays
+// the paper's Insert path of record).
 func (t *Table) insertPartitioned(db *Database, perPart [][]storage.Row) error {
-	if done := t.insertFastPath(db, perPart); done {
+	rejected, done := t.insertFastPath(db, perPart)
+	if done {
 		return nil
 	}
+	// The rejected attempt pre-published this batch's values; their
+	// ledger entries must outlive the retry below (they keep a
+	// concurrent filter rebuild from dropping the bits before the
+	// retry commits the counts), so they retire only on the way out.
+	defer unpublish(rejected)
 	t.fallbackInserts.Add(1)
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	// Most fallbacks are filter artifacts (saturation or a false
 	// positive), not real collisions. Under the exclusive lock the
 	// count maps of every partition are readable, so the retry
-	// re-classifies EXACTLY and the O(table) collision join is paid
-	// only when a value genuinely exists in a foreign partition.
+	// re-classifies EXACTLY: foreign count hits become foreignHits
+	// entries (patched after the chunks land) instead of rejections.
 	// The exact plan consults no filters and publishes no bits (the
-	// rejected attempt above already pre-published this batch's
-	// values); saturated filters are rebuilt AFTER the chunks
-	// commit, when the count maps include the batch, so a rebuilt
-	// filter cannot lose its values.
-	if plan, ok := t.planFastInsert(perPart, true); ok {
-		for p := range perPart {
-			if len(perPart[p]) == 0 {
-				continue
-			}
-			t.insertChunkLocked(db, p, perPart[p], plan)
-		}
-		t.publishFastInsert(plan)
-		// Re-publish the batch's filter bits: between the rejected
-		// non-exact attempt (which pre-published them) and this
-		// exclusive section, another exclusive writer may have
-		// rebuilt a saturated filter from count maps that did not
-		// yet include this batch — dropping its bits. Bit-level
-		// adds are idempotent, so the common no-rebuild case only
-		// bumps the sizing counter by one batch.
-		republishBlooms(plan)
-		for _, st := range t.nuc {
-			st.RebuildOverfullBlooms()
-		}
-		return nil
+	// rejected attempt already pre-published this batch's values);
+	// saturated filters are rebuilt AFTER the chunks commit, when the
+	// count maps include the batch, and the still-ledgered values
+	// cover any concurrent batch's uncommitted ones.
+	plan, ok := t.planFastInsert(perPart, true)
+	if !ok {
+		// Degenerate only: a NUC index without collision state
+		// (defensive for externally restored indexes) cannot be
+		// classified shardedly; run the global join path.
+		return t.insertExclusiveLocked(db, perPart)
 	}
-	return t.insertExclusiveLocked(db, perPart)
+	for p := range perPart {
+		if len(perPart[p]) == 0 {
+			continue
+		}
+		t.insertChunkLocked(db, p, perPart[p], plan)
+	}
+	t.patchForeignCollisionsLocked(plan)
+	t.publishFastInsert(plan)
+	for _, st := range t.nuc {
+		st.RebuildOverfullBlooms()
+	}
+	return nil
 }
 
 // insertFastPath classifies and commits the batch under the shared
 // structure lock. done=false is a planning rejection (a cross-partition
-// candidate collision); the caller retries under the exclusive lock.
-func (t *Table) insertFastPath(db *Database, perPart [][]storage.Row) (done bool) {
+// candidate collision); the caller retries under the exclusive lock and
+// retires the rejected plan's pre-publications once the retry commits.
+func (t *Table) insertFastPath(db *Database, perPart [][]storage.Row) (rejected *fastInsertPlan, done bool) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	plan, ok := t.planFastInsert(perPart, false)
 	if !ok {
-		return false
+		return plan, false
 	}
 	t.fastInserts.Add(1)
 	for p := range perPart {
@@ -275,46 +296,113 @@ func (t *Table) insertFastPath(db *Database, perPart [][]storage.Row) (done bool
 		}()
 	}
 	t.publishFastInsert(plan)
-	return true
+	// Every chunk's counts are committed; retire the pre-publication
+	// ledger entries (the filter bits themselves stay).
+	unpublish(plan)
+	return nil, true
 }
 
-// republishBlooms adds every value of the plan's batch to its target
-// partition's filter. Exact-retry commits call it after the chunks (and
-// their count updates) land — see the caller for why.
-func republishBlooms(plan *fastInsertPlan) {
+// prePublish registers every value of the plan's batch in its target
+// partition's filter and in-flight ledger: the bits make racing batches
+// see this one, the ledger entries survive filter rebuilds until the
+// counts commit. Paired with exactly one unpublish.
+func prePublish(plan *fastInsertPlan) {
 	for ci := range plan.cols {
 		fc := &plan.cols[ci]
 		if fc.isInt {
 			for p := range fc.intVals {
 				for _, v := range fc.intVals[p] {
-					fc.state.AddBloomInt64(p, v)
+					fc.state.PrePublishInt64(p, v)
 				}
 			}
 		} else {
 			for p := range fc.strVals {
 				for _, v := range fc.strVals[p] {
-					fc.state.AddBloomString(p, v)
+					fc.state.PrePublishString(p, v)
 				}
 			}
 		}
 	}
 }
 
+// unpublish retires the plan's pre-publication ledger entries, after
+// its values are committed to the count maps. nil-safe (a plan rejected
+// before pre-publication is nil).
+func unpublish(plan *fastInsertPlan) {
+	if plan == nil {
+		return
+	}
+	for ci := range plan.cols {
+		fc := &plan.cols[ci]
+		if fc.isInt {
+			for p := range fc.intVals {
+				for _, v := range fc.intVals[p] {
+					fc.state.UnpublishInt64(p, v)
+				}
+			}
+		} else {
+			for p := range fc.strVals {
+				for _, v := range fc.strVals[p] {
+					fc.state.UnpublishString(p, v)
+				}
+			}
+		}
+	}
+}
+
+// patchForeignCollisionsLocked patches the pre-existing foreign
+// occurrences of the exact retry's real cross-partition collisions: for
+// each foreign partition with count-map hits, one partition-local value
+// scan finds the colliding rowIDs (the batch's own rows are already
+// patched via knownPatch; AddPatches ignores re-marks). The caller
+// holds the structure lock exclusively, and the chunks have committed —
+// so the scans see the full batch, and the hit values are sealed right
+// after by publishFastInsert, keeping the sealed-set invariant.
+func (t *Table) patchForeignCollisionsLocked(plan *fastInsertPlan) {
+	for ci := range plan.cols {
+		fc := &plan.cols[ci]
+		idx := t.mutableIndexesLocked(fc.column)
+		if fc.isInt {
+			for q, hits := range fc.foreignHitsInt {
+				var rids []uint64
+				for r, v := range t.viewLocked(q).MaterializeInt64(fc.col) {
+					if _, ok := hits[v]; ok {
+						rids = append(rids, uint64(r))
+					}
+				}
+				idx[q].AddPatches(rids)
+			}
+		} else {
+			for q, hits := range fc.foreignHitsStr {
+				var rids []uint64
+				for r, v := range t.viewLocked(q).MaterializeString(fc.col) {
+					if _, ok := hits[v]; ok {
+						rids = append(rids, uint64(r))
+					}
+				}
+				idx[q].AddPatches(rids)
+			}
+		}
+	}
+}
+
 // planFastInsert classifies the batch for the sharded insert handling.
-// It returns ok=false when the batch must take the exclusive-lock
-// collision join. Two modes:
+// Two modes:
 //
 //   - exact=false (the parallel path, structure lock held shared): no
 //     partition lock is taken — classification reads the sealed
 //     exception set and the foreign Bloom filters, both lock-free, with
-//     the pre-publication ordering ruling out racing batches. Filter
-//     false positives reject valid batches (cost: a fallback).
+//     the pre-publication ordering ruling out racing batches. A foreign
+//     filter hit — a candidate collision, real or false positive —
+//     rejects (ok=false, with the returned plan's values pre-published
+//     and ledgered for the caller to retire after the retry).
 //   - exact=true (the fallback retry, structure lock held exclusively):
 //     foreign presence is read from the partition-local count maps —
 //     the exact ground truth, safe to read across partitions under the
-//     exclusive lock. Only REAL cross-partition collisions reject, so a
-//     filter false positive costs one exclusive-lock retry, never the
-//     O(table) join.
+//     exclusive lock. Nothing rejects: a real foreign occurrence marks
+//     the inserted row a known patch and records a foreignHits entry,
+//     which the retry resolves with a partition-local value scan — the
+//     Fig. 5 global join never runs on this path.
 func (t *Table) planFastInsert(perPart [][]storage.Row, exact bool) (*fastInsertPlan, bool) {
 	plan := &fastInsertPlan{}
 	for column, idx := range t.indexes {
@@ -406,25 +494,26 @@ func (t *Table) planFastInsert(perPart [][]storage.Row, exact bool) (*fastInsert
 	}
 
 	// Optimistic pre-publication: teach every target partition's filter
-	// this batch's values FIRST (lock-free atomic word sets), then probe
-	// the foreign filters. Because sync/atomic operations are
-	// sequentially consistent, two batches racing the same value cannot
-	// both order all their probes before the other's adds — at least one
-	// sees the other and falls back. A fallback's pre-published bits
-	// stay behind; they only ever cost a false positive, and the
-	// exclusive path inserts the same values anyway. Exact mode skips
-	// the publication: it consults count maps, not filters, and the
-	// batch's bits are already published by the rejected non-exact
-	// attempt that every exact retry follows.
+	// (and in-flight ledger) this batch's values FIRST, then probe the
+	// foreign filters. Because sync/atomic operations are sequentially
+	// consistent, two batches racing the same value cannot both order
+	// all their probes before the other's adds — at least one sees the
+	// other and falls back. A fallback's pre-published bits stay
+	// behind; they only ever cost a false positive, and the retry
+	// inserts the same values anyway — its ledger entries retire once
+	// the retry commits. Exact mode skips the publication: it consults
+	// count maps, not filters, and the batch's bits are already
+	// published (and still ledgered) by the rejected non-exact attempt
+	// that every exact retry follows.
 	if !exact {
-		republishBlooms(plan)
+		prePublish(plan)
 	}
 	nparts := t.store.NumPartitions()
 	for ci := range plan.cols {
 		fc := &plan.cols[ci]
 		if fc.isInt {
 			for p := range fc.intVals {
-				for _, v := range fc.intVals[p] {
+				for i, v := range fc.intVals[p] {
 					if fc.sealed.ContainsInt64(v) {
 						continue // every existing occurrence is already a patch
 					}
@@ -435,17 +524,30 @@ func (t *Table) planFastInsert(perPart [][]storage.Row, exact bool) (*fastInsert
 						}
 						if exact {
 							if fc.state.LocalCountInt64(q, v) > 0 {
-								return nil, false
+								// A real cross-partition collision: the new
+								// row and q's existing occurrences all become
+								// patches, and v gets sealed at publication.
+								fc.knownPatch[p][i] = true
+								if fc.foreignHitsInt == nil {
+									fc.foreignHitsInt = make(map[int]map[int64]struct{})
+								}
+								if fc.foreignHitsInt[q] == nil {
+									fc.foreignHitsInt[q] = make(map[int64]struct{})
+								}
+								if _, seen := fc.foreignHitsInt[q][v]; !seen {
+									fc.foreignHitsInt[q][v] = struct{}{}
+									fc.newDupInt = append(fc.newDupInt, v)
+								}
 							}
 						} else if fc.state.PartitionMayContainInt64(q, v) {
-							return nil, false
+							return plan, false
 						}
 					}
 				}
 			}
 		} else {
 			for p := range fc.strVals {
-				for _, v := range fc.strVals[p] {
+				for i, v := range fc.strVals[p] {
 					if fc.sealed.ContainsString(v) {
 						continue
 					}
@@ -456,10 +558,20 @@ func (t *Table) planFastInsert(perPart [][]storage.Row, exact bool) (*fastInsert
 						}
 						if exact {
 							if fc.state.LocalCountString(q, v) > 0 {
-								return nil, false
+								fc.knownPatch[p][i] = true
+								if fc.foreignHitsStr == nil {
+									fc.foreignHitsStr = make(map[int]map[string]struct{})
+								}
+								if fc.foreignHitsStr[q] == nil {
+									fc.foreignHitsStr[q] = make(map[string]struct{})
+								}
+								if _, seen := fc.foreignHitsStr[q][v]; !seen {
+									fc.foreignHitsStr[q][v] = struct{}{}
+									fc.newDupStr = append(fc.newDupStr, v)
+								}
 							}
 						} else if fc.state.PartitionMayContainString(q, v) {
-							return nil, false
+							return plan, false
 						}
 					}
 				}

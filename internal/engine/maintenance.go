@@ -104,6 +104,7 @@ func (t *Table) nucCollisions(col int, changed []changedRef, changedStrs [][]str
 	if len(changed) == 0 {
 		return out, nil
 	}
+	t.collisionJoins.Add(1)
 	if t.store.Schema()[col].Kind == storage.KindString {
 		t.stringCollisions(col, changedStrs, out)
 		return out, nil
@@ -516,6 +517,7 @@ func (t *Table) nucModifyCollisions(col int, changed []changedRef, changedStrs [
 	if t.store.Schema()[col].Kind != storage.KindString {
 		return t.nucCollisions(col, changed, nil)
 	}
+	t.collisionJoins.Add(1)
 	nparts := t.store.NumPartitions()
 	out := make([]core.NUCJoinResult, nparts)
 	type ref struct {

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
 	"patchindex/internal/core"
 	"patchindex/internal/exec"
@@ -352,6 +353,23 @@ func TestModelRandomSchedules(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	// The maintenance daemon churns alongside the workers: recomputes,
+	// condenses, and filter rebuilds only — no reorderer is registered
+	// (the model's positional bookkeeping cannot survive a physical
+	// permutation) and discovery stays off (the model owns the schema).
+	// Repairs preserve the model's observable invariants: recompute keeps
+	// every sealed duplicate patched, and nothing permutes rows.
+	maint, err := db.StartMaintainer(MaintainerConfig{
+		Interval:         500 * time.Microsecond,
+		MaxExceptionRate: 0.02,
+		MinUtilization:   0.5,
+		MaxRetries:       2,
+		RetryBackoff:     100 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
 	workers := make([]*modelWorker, modelParts)
 	for w := range workers {
 		workers[w] = newModelWorker(w, *modelSeed)
@@ -377,6 +395,12 @@ func TestModelRandomSchedules(t *testing.T) {
 	close(errc)
 	for err := range errc {
 		t.Fatal(err)
+	}
+	db.Close() // joins the daemon before the quiescent checks below
+	mstats := maint.Stats()
+	t.Logf("maintainer: %+v", mstats)
+	if mstats.Errors != 0 {
+		t.Fatalf("maintenance daemon hit %d non-refusal errors: %+v", mstats.Errors, mstats)
 	}
 
 	// Quiescent final check 1: the table equals the union of the models,

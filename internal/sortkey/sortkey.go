@@ -8,9 +8,13 @@
 // The physical reorder rewrites the shared column arrays in place, which
 // would silently corrupt any live engine snapshot referencing them.
 // CreateEngine and RebuildChecked therefore go through the engine's
-// ExclusiveStorage guard and refuse to run while snapshot refs —
-// explicitly captured or query-internal ephemeral — are live. The raw
-// Create entry point remains for storage-level experiment code that
+// reorder guard (engine.Table.ReorderStorage) and refuse to run while
+// snapshot refs — explicitly captured or query-internal ephemeral — are
+// live. The engine guard also checkpoints pending deltas first (their
+// positions refer to pre-reorder rows) and re-anchors minmax summaries
+// and any PatchIndex slots to the new physical order afterwards, so a
+// SortKey may coexist with PatchIndexes on the same engine table. The
+// raw Create entry point remains for storage-level experiment code that
 // owns its table outright, but it no longer bypasses the registry: the
 // reorder runs inside storage.Table.Exclusive — refusing (with a panic)
 // while any snapshot ref is live, and blocking new refs for its
@@ -19,12 +23,13 @@
 //
 // Re-sorts can also be confined to one partition:
 // RebuildPartitionChecked goes through the partition-granular guard
-// (engine.Table.ExclusivePartition / storage.Table.ExclusivePartition),
+// (engine.Table.ReorderPartition / storage.Table.ExclusivePartition),
 // which refuses only while a snapshot ref holds the *target*
 // partition's current generation — a rebuild of partition 3 proceeds
 // while a query drains a partition-scoped capture of partition 0, and
 // partition-local sortedness is exactly what SortedScan's partition
-// merge relies on.
+// merge relies on. This is the entry point the engine's maintenance
+// daemon drives when a partition's physical sortedness decays.
 package sortkey
 
 import (
@@ -100,7 +105,7 @@ func CreateEngine(t *engine.Table, column string, desc bool) (*SortKey, error) {
 	if col < 0 {
 		return nil, fmt.Errorf("sortkey: unknown column %q on table %q", column, t.Name())
 	}
-	s := &SortKey{col: col, desc: desc, guard: t.ExclusiveStorage, pguard: t.ExclusivePartition}
+	s := &SortKey{col: col, desc: desc, guard: t.ReorderStorage, pguard: t.ReorderPartition}
 	err := s.guard(func(st *storage.Table) error {
 		s.table = st
 		s.rebuild()

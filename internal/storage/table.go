@@ -117,6 +117,17 @@ func (p *Partition) invalidateMinMax() {
 	}
 }
 
+// InvalidateMinMax drops the cached minmax summaries. Physical reorders
+// permute rows in place without changing the row count, so MinMax's
+// rebuild-on-length-change heuristic cannot detect them — the reorderer
+// must invalidate explicitly or block pruning would consult summaries
+// describing the old row order.
+func (p *Partition) InvalidateMinMax() {
+	p.mmMu.Lock()
+	defer p.mmMu.Unlock()
+	p.invalidateMinMax()
+}
+
 // SizeBytes estimates the memory consumed by the partition's columns.
 func (p *Partition) SizeBytes() uint64 {
 	var sz uint64
