@@ -10,6 +10,7 @@ import (
 
 	"patchindex"
 	"patchindex/internal/core"
+	"patchindex/internal/query"
 )
 
 func main() {
@@ -82,4 +83,22 @@ func main() {
 	}
 	fmt.Printf("\ncheckpoint/recovery: %d bytes, restored index has %d patches over %d rows\n",
 		size, restored.NumPatches(), restored.Rows())
+
+	// The general query layer: the same ORDER BY as a logical plan. The
+	// optimizer consults the cost model with the index's live row and
+	// patch counts; on a table this small the clone overhead of the
+	// patch plan never pays, so it picks the full-scan reference plan —
+	// the Decisions record shows the reasoning.
+	p := query.From("demo", "v").OrderBy(query.Asc("v"))
+	c, err := query.Run(db, p, query.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sorted, _ = patchindex.CollectInt64(c.Root)
+	fmt.Println("\ngeneral query layer: From(demo, v).OrderBy(v):")
+	fmt.Println("  ", sorted)
+	for _, d := range c.Decisions {
+		fmt.Printf("   optimizer: %s -> %s (rows=%d patches=%d, forced=%v)\n",
+			d.Node, d.Access, d.FactRows, d.Patches, d.Forced)
+	}
 }

@@ -133,6 +133,21 @@
 // quiescent checks can read table state without further
 // synchronization.
 //
+// # Statistics feeding the optimizer
+//
+// The same per-partition health numbers the daemon repairs from also
+// drive the query layer's access-path choices (internal/query over the
+// internal/plan cost model): a captured TableSnapshot exposes row and
+// patch counts per partition (its Inputs carry them to plan
+// construction), PartitionIndexStats surfaces the identical live
+// counters outside a snapshot, and storage block minmax metadata
+// enables scan pruning under pushed-down predicates. Keeping exception
+// rates low is therefore not just an index-quality concern — it is what
+// keeps the optimizer choosing the cheap patch plans, which is the
+// payoff the maintainer's MaxCostErosion threshold prices directly
+// (plan.ErosionExceptionRate inverts the cost model per partition
+// size).
+//
 // # Mechanically enforced invariants
 //
 // Four of the invariants above are checked by cmd/pilint (standalone:
@@ -464,6 +479,36 @@ func (t *Table) ReadInt64Column(partition int, column string) []int64 {
 	// MaterializeInt64 may alias live base storage when the delta is
 	// empty; copy so the result stays valid outside the lock.
 	return append([]int64(nil), t.viewLocked(partition).MaterializeInt64(col)...)
+}
+
+// SampleInt64Column returns up to max evenly spaced values of one
+// partition's int64 column (including pending deltas) plus the logical
+// row count the sample was drawn from. max <= 0, or max >= the row
+// count, returns every value. Unlike ReadInt64Column the merged column
+// is never materialized: values are read positionally under the
+// partition lock, so work and allocation are bounded by the sample
+// size, not the partition size — the shape the maintenance daemon's
+// discovery probe needs when partitions are large.
+func (t *Table) SampleInt64Column(partition int, column string, max int) (vals []int64, rows int) {
+	t.lockPartition(partition)
+	defer t.unlockPartition(partition)
+	col := t.store.Schema().MustColumnIndex(column)
+	v := t.viewLocked(partition)
+	rows = v.NumRows()
+	if rows == 0 {
+		return nil, 0
+	}
+	n := rows
+	if max > 0 && max < n {
+		n = max
+	}
+	vals = make([]int64, n)
+	for i := 0; i < n; i++ {
+		// i*rows/n is strictly increasing for n <= rows, covering the
+		// partition at a uniform stride.
+		vals[i] = v.Get(i*rows/n, col).I
+	}
+	return vals, rows
 }
 
 // Views returns snapshot read views of all partitions, capturing one

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"patchindex/internal/core"
+	"patchindex/internal/plan"
 	"patchindex/internal/storage"
 )
 
@@ -36,9 +37,10 @@ import (
 //     path because in-flight publications survive the swap via the
 //     collision state's pre-publication ledger;
 //   - optionally, unindexed BIGINT columns are probed for
-//     near-uniqueness and adopted as NUC PatchIndexes when their
-//     exception rate is low enough (core.DiscoverNUCInt64's counting
-//     pass, surfaced as core.MatchRateNUC).
+//     near-uniqueness on a bounded per-partition sample and adopted as
+//     NUC PatchIndexes when their exception rate is low enough
+//     (core.DiscoverNUCInt64's counting pass, surfaced as
+//     core.MatchRateNUC).
 //
 // Lock discipline: the daemon is an ordinary engine client. It holds no
 // engine lock of its own across actions — every sample and every repair
@@ -74,6 +76,17 @@ type MaintainerConfig struct {
 	// MaxExceptionRate triggers repair of an index slot whose
 	// per-partition exception rate exceeds it.
 	MaxExceptionRate float64
+	// MaxCostErosion, when > 0, derives each partition's repair
+	// threshold from the optimizer's cost model instead of the static
+	// MaxExceptionRate: a slot is repaired once its exception rate
+	// exceeds plan.ErosionExceptionRate(rows, MaxCostErosion) — the
+	// rate at which the partition's patch plan prices MaxCostErosion
+	// (a fraction, e.g. 0.25) above a patch-free one, capped at the
+	// break-even past which the optimizer abandons the patch plan
+	// anyway. Small partitions whose patch plan never wins report a
+	// threshold of 1 and are left alone — repairing them has no
+	// plan-cost payoff.
+	MaxCostErosion float64
 	// MinSortedness picks the repair for an eroded NSC slot: below it
 	// (and with a reorderer registered) the partition is physically
 	// re-sorted; at or above it the slot is merely recomputed.
@@ -86,12 +99,23 @@ type MaintainerConfig struct {
 	// most NearUniqueMaxRate.
 	DiscoverNearUnique bool
 	NearUniqueMaxRate  float64
+	// DiscoverySampleRows bounds the rows the discovery probe reads per
+	// partition: larger partitions are stride-sampled down to this many
+	// values instead of having the whole column materialized and
+	// concatenated. <= 0 uses DefaultDiscoverySampleRows. Partitions at
+	// or below the bound are read in full, so small tables keep exact
+	// discovery.
+	DiscoverySampleRows int
 	// MaxRetries bounds re-attempts of a snapshot-refused repair within
 	// one sweep; RetryBackoff is the initial sleep between attempts,
 	// doubled per retry.
 	MaxRetries   int
 	RetryBackoff time.Duration
 }
+
+// DefaultDiscoverySampleRows is the per-partition row budget of the
+// discovery probe when MaintainerConfig.DiscoverySampleRows is unset.
+const DefaultDiscoverySampleRows = 4096
 
 // DefaultMaintainerConfig returns the thresholds the daemon ships with.
 func DefaultMaintainerConfig() MaintainerConfig {
@@ -292,7 +316,7 @@ func (m *Maintainer) sweepIndexes(t *Table) []indexedColumn {
 	cols := t.indexedColumnsSnapshot()
 	for _, c := range cols {
 		for _, ps := range t.PartitionIndexStats(c.name) {
-			if m.cfg.MaxExceptionRate > 0 && ps.ExceptionRate > m.cfg.MaxExceptionRate && ps.Rows > 0 {
+			if threshold, ok := m.repairThreshold(ps.Rows); ok && ps.ExceptionRate > threshold && ps.Rows > 0 {
 				m.repairSlot(t, c, ps.Partition)
 			}
 			if m.cfg.MinUtilization > 0 && ps.Utilization < m.cfg.MinUtilization {
@@ -310,6 +334,21 @@ func (m *Maintainer) sweepIndexes(t *Table) []indexedColumn {
 		}
 	}
 	return cols
+}
+
+// repairThreshold returns the exception rate above which a partition of
+// the given size is repaired, and whether exception-rate repair is
+// enabled at all. MaxCostErosion > 0 selects the cost-derived
+// threshold; otherwise the static MaxExceptionRate applies (0 disables
+// the repair).
+func (m *Maintainer) repairThreshold(rows uint64) (float64, bool) {
+	if m.cfg.MaxCostErosion > 0 {
+		return plan.ErosionExceptionRate(rows, m.cfg.MaxCostErosion), true
+	}
+	if m.cfg.MaxExceptionRate > 0 {
+		return m.cfg.MaxExceptionRate, true
+	}
+	return 0, false
 }
 
 // repairSlot fixes one index slot whose exception rate crossed the
@@ -334,10 +373,21 @@ func (m *Maintainer) repairSlot(t *Table, c indexedColumn, p int) {
 // and adopts a NUC PatchIndex (bitmap design) on columns whose
 // exception rate is within the configured bound — the daemon noticing a
 // column drifting into near-uniqueness before anyone declares it.
+//
+// The probe reads at most DiscoverySampleRows evenly spaced values per
+// partition (SampleInt64Column) rather than materializing and
+// concatenating whole columns, so its footprint stays bounded on large
+// tables. Sampling can under-count duplicates, but a wrongly adopted
+// column is self-correcting: its index carries the true patch set, and
+// the next sweepIndexes pass sees the real exception rate.
 func (m *Maintainer) sweepDiscovery(t *Table, indexed []indexedColumn) {
 	have := make(map[string]bool, len(indexed))
 	for _, c := range indexed {
 		have[c.name] = true
+	}
+	budget := m.cfg.DiscoverySampleRows
+	if budget <= 0 {
+		budget = DefaultDiscoverySampleRows
 	}
 	for _, def := range t.Schema() {
 		if have[def.Name] || def.Kind != storage.KindInt64 {
@@ -345,7 +395,8 @@ func (m *Maintainer) sweepDiscovery(t *Table, indexed []indexedColumn) {
 		}
 		var vals []int64
 		for p := 0; p < t.NumPartitions(); p++ {
-			vals = append(vals, t.ReadInt64Column(p, def.Name)...)
+			sample, _ := t.SampleInt64Column(p, def.Name, budget)
+			vals = append(vals, sample...)
 		}
 		if len(vals) == 0 {
 			continue

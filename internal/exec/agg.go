@@ -31,15 +31,18 @@ type AggSpec struct {
 // HashAggregate groups its input by the given columns and computes the
 // aggregates. With no aggregates it computes DISTINCT over the group
 // columns — the expensive operator the PatchIndex distinct optimization
-// removes from the patch-free subtree (Fig. 2).
+// removes from the patch-free subtree (Fig. 2). With no group columns
+// every input row falls into one group — a scalar aggregate emitting a
+// single row (and none at all on empty input).
 type HashAggregate struct {
 	child     Operator
 	groupCols []int
 	aggs      []AggSpec
 	schema    storage.Schema
 
-	built  bool
-	groups *Batch    // one tuple per group (group columns only)
+	built   bool
+	ngroups int       // group count; groups.Len() is 0 when groupCols is empty
+	groups  *Batch    // one tuple per group (group columns only)
 	counts []int64   // per group per agg: packed [group*nagg + agg]
 	sumsI  []int64   // AggSum/Min/Max int64 accumulators
 	sumsF  []float64 // AggSum/Min/Max float64 accumulators
@@ -121,7 +124,7 @@ func (h *HashAggregate) build() error {
 				k := b.Cols[h.groupCols[0]].I64[i]
 				g, ok = mapI64[k]
 				if !ok {
-					g = h.groups.Len()
+					g = h.ngroups
 					mapI64[k] = g
 					h.newGroup(b, i, nagg)
 				}
@@ -129,7 +132,7 @@ func (h *HashAggregate) build() error {
 				keyBuf = h.encodeKey(keyBuf[:0], b, i)
 				g, ok = mapStr[string(keyBuf)]
 				if !ok {
-					g = h.groups.Len()
+					g = h.ngroups
 					mapStr[string(keyBuf)] = g
 					h.newGroup(b, i, nagg)
 				}
@@ -137,12 +140,13 @@ func (h *HashAggregate) build() error {
 			h.accumulate(g, b, i, nagg)
 		}
 	}
-	h.GroupsBuilt = h.groups.Len()
+	h.GroupsBuilt = h.ngroups
 	h.out = NewBatch(h.schema)
 	return nil
 }
 
 func (h *HashAggregate) newGroup(b *Batch, i, nagg int) {
+	h.ngroups++
 	for gi, c := range h.groupCols {
 		h.groups.Cols[gi].Append(&b.Cols[c], i)
 	}
@@ -219,7 +223,7 @@ func (h *HashAggregate) Next() (*Batch, error) {
 			return nil, err
 		}
 	}
-	total := h.groups.Len()
+	total := h.ngroups
 	if h.emitPos >= total {
 		return nil, nil
 	}

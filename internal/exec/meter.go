@@ -1,0 +1,42 @@
+package exec
+
+import "patchindex/internal/storage"
+
+// NewMeter wraps op with a transparent row counter: batches pass through
+// unchanged, and when the child cleanly reaches end of stream the total
+// row count is reported exactly once through done. Early Close or an
+// error suppresses the report — a partial count would poison the
+// cardinality feedback the optimizer builds from metered subtrees.
+func NewMeter(op Operator, done func(rows uint64)) Operator {
+	return &meter{child: op, done: done}
+}
+
+type meter struct {
+	child Operator
+	done  func(rows uint64)
+	rows  uint64
+	fired bool
+}
+
+// Schema implements Operator.
+func (m *meter) Schema() storage.Schema { return m.child.Schema() }
+
+// Next implements Operator.
+func (m *meter) Next() (*Batch, error) {
+	b, err := m.child.Next()
+	if err != nil {
+		return nil, err
+	}
+	if b == nil {
+		if !m.fired && m.done != nil {
+			m.fired = true
+			m.done(m.rows)
+		}
+		return nil, nil
+	}
+	m.rows += uint64(b.Len())
+	return b, nil
+}
+
+// Close implements Operator.
+func (m *meter) Close() { m.child.Close() }

@@ -1,0 +1,107 @@
+package exec
+
+import (
+	"testing"
+
+	"patchindex/internal/storage"
+)
+
+func meterSource(n int) Operator {
+	schema := storage.Schema{{Name: "v", Kind: storage.KindInt64}}
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	return NewVecSource(schema, []Vec{{Kind: storage.KindInt64, I64: vals}}, nil)
+}
+
+// TestMeterReportsOnceAtEOS: a cleanly drained meter reports the exact
+// row count exactly once, even when Close follows EOS (as Drain does)
+// and even when Next is called past end of stream.
+func TestMeterReportsOnceAtEOS(t *testing.T) {
+	var fired int
+	var got uint64
+	op := NewMeter(meterSource(300), func(rows uint64) { fired++; got = rows })
+	if len(op.Schema()) != 1 {
+		t.Fatalf("schema width = %d, want 1", len(op.Schema()))
+	}
+	rows, err := Collect(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 300 {
+		t.Fatalf("meter altered the stream: %d rows, want 300", len(rows))
+	}
+	if b, err := op.Next(); b != nil || err != nil {
+		t.Fatalf("Next past EOS = %v, %v", b, err)
+	}
+	if fired != 1 || got != 300 {
+		t.Fatalf("done fired %d times with %d rows, want once with 300", fired, got)
+	}
+}
+
+// TestMeterSuppressedOnEarlyClose: abandoning the stream before EOS must
+// not report — a partial count would poison the cardinality feedback.
+func TestMeterSuppressedOnEarlyClose(t *testing.T) {
+	fired := 0
+	op := NewMeter(meterSource(300), func(uint64) { fired++ })
+	if _, err := op.Next(); err != nil {
+		t.Fatal(err)
+	}
+	op.Close()
+	if fired != 0 {
+		t.Fatalf("done fired %d times after early Close, want 0", fired)
+	}
+}
+
+// TestMeterSuppressedOnError: a child error suppresses the report too.
+func TestMeterSuppressedOnError(t *testing.T) {
+	fired := 0
+	op := NewMeter(&erroringOp{meterSource(3)}, func(uint64) { fired++ })
+	if _, err := op.Next(); err == nil {
+		t.Fatal("expected error")
+	}
+	op.Close()
+	if fired != 0 {
+		t.Fatalf("done fired %d times after error, want 0", fired)
+	}
+}
+
+// TestScalarAggregate pins group-less aggregation: all rows fall into
+// one group and exactly one row comes out (the groups batch has no
+// columns, so the group count must not be derived from its length).
+func TestScalarAggregate(t *testing.T) {
+	agg := NewHashAggregate(meterSource(300), nil, []AggSpec{
+		{Func: AggCount, Name: "n"},
+		{Func: AggSum, Col: 0, Name: "s"},
+		{Func: AggMax, Col: 0, Name: "max"},
+	})
+	rows, err := Collect(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("scalar aggregate emitted %d rows, want 1", len(rows))
+	}
+	if n := rows[0][0].I; n != 300 {
+		t.Fatalf("count = %d, want 300", n)
+	}
+	if s := rows[0][1].I; s != 299*300/2 {
+		t.Fatalf("sum = %d, want %d", s, 299*300/2)
+	}
+	if mx := rows[0][2].I; mx != 299 {
+		t.Fatalf("max = %d, want 299", mx)
+	}
+	if agg.GroupsBuilt != 1 {
+		t.Fatalf("GroupsBuilt = %d, want 1", agg.GroupsBuilt)
+	}
+	// Empty input emits nothing.
+	empty := NewHashAggregate(meterSource(0), nil, []AggSpec{{Func: AggCount, Name: "n"}})
+	rows, err = Collect(empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 0 {
+		t.Fatalf("empty scalar aggregate emitted %d rows", len(rows))
+	}
+}

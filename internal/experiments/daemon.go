@@ -4,11 +4,14 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sort"
 	"sync"
 	"time"
 
 	"patchindex/internal/core"
 	"patchindex/internal/engine"
+	"patchindex/internal/exec"
+	"patchindex/internal/query"
 	"patchindex/internal/sortkey"
 	"patchindex/internal/storage"
 )
@@ -24,7 +27,11 @@ import (
 // final NSC/NUC exception rates and index memory — plus the daemon's
 // action counters, which show where the repair work went (partition
 // re-sorts through the sort-key reorderer, in-place slot recomputes,
-// condenses, collision-filter rebuilds).
+// condenses, collision-filter rebuilds). A concurrent reader drives the
+// general query layer (query.Run in Auto mode) against the churning
+// table throughout, so each run also reports read latency under churn —
+// the daemon's keep-the-index-healthy work should show up as cheaper
+// patch plans, not just lower exception rates.
 func RunDaemon(w io.Writer, s Scale) {
 	header(w, "daemon", "maintenance daemon under insert/delete churn")
 	steps := s.Rows / 100
@@ -69,6 +76,10 @@ func runDaemonChurn(w io.Writer, s Scale, steps int, withDaemon bool) {
 		}
 		m.RegisterReorderer("churn", "k", sk)
 	}
+
+	stopQueries := make(chan struct{})
+	latencies := make(chan []time.Duration, 1)
+	go func() { latencies <- queryUnderChurn(db, stopQueries) }()
 
 	elapsed := timeIt(func() {
 		var wg sync.WaitGroup
@@ -122,6 +133,8 @@ func runDaemonChurn(w io.Writer, s Scale, steps int, withDaemon bool) {
 		}
 		wg.Wait()
 	})
+	close(stopQueries)
+	lats := <-latencies
 	db.Close()
 
 	label := "daemon off"
@@ -134,10 +147,62 @@ func runDaemonChurn(w io.Writer, s Scale, steps int, withDaemon bool) {
 	fmt.Fprintf(w, "%s  NSC rate %.4f  NUC rate %.4f  index mem %d B\n",
 		label, tb.ExceptionRate("k"), tb.ExceptionRate("v"),
 		tb.IndexMemoryBytes("k")+tb.IndexMemoryBytes("v"))
+	mean, p95 := latencyStats(lats)
+	fmt.Fprintf(w, "%s  queries %5d  latency mean %8.3f ms  p95 %8.3f ms\n",
+		label, len(lats), ms(mean), ms(p95))
 	if m != nil {
 		st := m.Stats()
 		fmt.Fprintf(w, "%s  sweeps %d  actions %d (reorders %d, recomputes %d, condenses %d, bloom rebuilds %d)  refusals/retries/errors %d/%d/%d\n",
 			label, st.Sweeps, st.Actions, st.Reorders, st.Recomputes, st.Condenses, st.BloomRebuilds,
 			st.Refusals, st.Retries, st.Errors)
 	}
+}
+
+// queryUnderChurn runs general-layer queries in a loop until stop
+// closes, returning each query's end-to-end latency (snapshot capture,
+// optimize, execute, release). The plan is a windowed aggregate over
+// the NSC key — the shape whose access-path choice depends on the
+// exception rates the churn is actively eroding — compiled fresh each
+// iteration in Auto mode, so the optimizer re-decides against live
+// statistics every time.
+func queryUnderChurn(db *engine.Database, stop <-chan struct{}) []time.Duration {
+	rng := rand.New(rand.NewSource(99))
+	var out []time.Duration
+	for {
+		select {
+		case <-stop:
+			return out
+		default:
+		}
+		lo := rng.Int63n(1 << 12)
+		p := query.From("churn", "k", "v").
+			Where(query.Between(query.Col("k"), query.Int(lo), query.Int(lo+512))).
+			Aggregate(nil, query.CountAll("n"), query.MaxOf(query.Col("v"), "vmax"))
+		start := time.Now()
+		c, err := query.Run(db, p, query.Options{})
+		if err != nil {
+			panic(err)
+		}
+		// Collect drains and closes the root, which releases the
+		// snapshot through the OnClose hook Run installed.
+		if _, err := exec.Collect(c.Root); err != nil {
+			panic(err)
+		}
+		out = append(out, time.Since(start))
+	}
+}
+
+// latencyStats returns the mean and 95th percentile of a latency
+// sample (zeros when empty).
+func latencyStats(lats []time.Duration) (mean, p95 time.Duration) {
+	if len(lats) == 0 {
+		return 0, 0
+	}
+	sorted := append([]time.Duration(nil), lats...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum time.Duration
+	for _, d := range sorted {
+		sum += d
+	}
+	return sum / time.Duration(len(sorted)), sorted[len(sorted)*95/100]
 }

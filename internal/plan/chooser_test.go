@@ -1,0 +1,146 @@
+package plan
+
+import (
+	"math"
+	"testing"
+)
+
+// TestChooseJoin pins the decision layer: unavailable paths price at
+// +Inf, the break-even between reference and patch plans sits where the
+// cost formulas cross, and a covering joinindex undercuts both on a
+// large enough fact side.
+func TestChooseJoin(t *testing.T) {
+	// No apparatus at all: reference, with both alternatives +Inf.
+	access, costs := ChooseJoin(400, 5, 20, false, false)
+	if access != AccessReference {
+		t.Fatalf("no apparatus chose %v", access)
+	}
+	if !math.IsInf(costs.PatchIndex, 1) || !math.IsInf(costs.JoinIndex, 1) {
+		t.Fatalf("unavailable paths not +Inf: %+v", costs)
+	}
+
+	// f=400, d=20: reference = 400*11 + 20*10 = 4600;
+	// patch = 400*1.6 + (400-p)*1.5 + 20*1.5 + p*10 + 200 + 2000,
+	// crossing reference at p ≈ 133.
+	if access, _ := ChooseJoin(400, 5, 20, true, false); access != AccessPatchIndex {
+		t.Fatalf("low-exception join chose %v, want patchindex", access)
+	}
+	if access, _ := ChooseJoin(400, 250, 20, true, false); access != AccessReference {
+		t.Fatalf("high-exception join chose %v, want reference", access)
+	}
+	// The flip is exactly where the formulas cross, not a hardcoded rate.
+	for p := uint64(0); p <= 400; p++ {
+		access, costs := ChooseJoin(400, p, 20, true, false)
+		want := AccessReference
+		if costs.PatchIndex < costs.Reference {
+			want = AccessPatchIndex
+		}
+		if access != want {
+			t.Fatalf("p=%d: chose %v with costs %+v", p, access, costs)
+		}
+	}
+
+	// JoinIndex = f*4, cheapest path once offered for a fact-heavy join.
+	access, costs = ChooseJoin(400, 5, 20, true, true)
+	if access != AccessJoinIndex {
+		t.Fatalf("covered join chose %v (costs %+v), want joinindex", access, costs)
+	}
+	if costs.JoinIndex != 1600 {
+		t.Fatalf("CostJoinIndex(400) = %v, want 1600", costs.JoinIndex)
+	}
+
+	// Ties and degenerate sizes stay deterministic: zero rows cost 0
+	// everywhere, and the earlier candidate (reference) wins ties.
+	if access, _ := ChooseJoin(0, 0, 0, true, true); access != AccessReference {
+		t.Fatalf("empty join chose %v, want reference on tie", access)
+	}
+}
+
+func TestChooseSortAndDistinct(t *testing.T) {
+	if a := ChooseSort(100_000, 100, true); a != AccessPatchIndex {
+		t.Fatalf("near-sorted sort chose %v", a)
+	}
+	if a := ChooseSort(100_000, 100_000, true); a != AccessReference {
+		t.Fatalf("fully-patched sort chose %v", a)
+	}
+	if a := ChooseSort(100_000, 0, false); a != AccessReference {
+		t.Fatalf("unindexed sort chose %v", a)
+	}
+	if a := ChooseDistinct(100_000, 100, true); a != AccessPatchIndex {
+		t.Fatalf("near-unique distinct chose %v", a)
+	}
+	if a := ChooseDistinct(100_000, 100_000, true); a != AccessReference {
+		t.Fatalf("fully-patched distinct chose %v", a)
+	}
+}
+
+// TestErosionExceptionRate pins the cost-model inversion the maintenance
+// daemon uses for repair thresholds.
+func TestErosionExceptionRate(t *testing.T) {
+	// 10000 rows, 25% erosion: base = 10000*1.6 + 2000 = 18000;
+	// erode = 0.25*18000/100000 = 0.045, well under break-even 0.92.
+	if got, want := ErosionExceptionRate(10_000, 0.25), 0.045; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("ErosionExceptionRate(10000, 0.25) = %v, want %v", got, want)
+	}
+	// The rate is capped at break-even: with a huge erosion budget the
+	// repair must still fire before the optimizer abandons the patch
+	// plan entirely.
+	rate := ErosionExceptionRate(10_000, 100)
+	breakEven := (10_000*(costScanTuple+costHashTuple) - 18_000.0) / (costHashTuple * 10_000)
+	if math.Abs(rate-breakEven) > 1e-9 {
+		t.Fatalf("uncapped rate = %v, want break-even %v", rate, breakEven)
+	}
+	// Monotonic in erosion below the cap.
+	if ErosionExceptionRate(10_000, 0.1) >= ErosionExceptionRate(10_000, 0.5) {
+		t.Fatal("rate not monotonic in the erosion budget")
+	}
+	// Partitions too small for the patch plan to ever win, empty
+	// partitions, and a zero budget all report 1 (never trigger).
+	for _, tc := range []struct {
+		rows    uint64
+		erosion float64
+	}{{200, 0.25}, {0, 0.25}, {10_000, 0}} {
+		if got := ErosionExceptionRate(tc.rows, tc.erosion); got != 1 {
+			t.Fatalf("ErosionExceptionRate(%d, %v) = %v, want 1", tc.rows, tc.erosion, got)
+		}
+	}
+}
+
+// TestChooserFeedback pins the EWMA store: first observation sets the
+// factor, later ones blend at alpha=0.5, Adjust rescales estimates, and
+// unknown keys (or a nil receiver) pass through untouched.
+func TestChooserFeedback(t *testing.T) {
+	c := NewChooser()
+	if got := c.Adjust("k", 100); got != 100 {
+		t.Fatalf("unknown key adjusted: %d", got)
+	}
+	if got := c.Factor("k"); got != 1 {
+		t.Fatalf("unknown key factor = %v", got)
+	}
+	c.Observe("k", 100, 400)
+	if got := c.Factor("k"); got != 4 {
+		t.Fatalf("first observation factor = %v, want 4", got)
+	}
+	if got := c.Adjust("k", 100); got != 400 {
+		t.Fatalf("adjusted estimate = %d, want 400", got)
+	}
+	c.Observe("k", 100, 200) // blend: 4*0.5 + 2*0.5 = 3
+	if got := c.Factor("k"); got != 3 {
+		t.Fatalf("blended factor = %v, want 3", got)
+	}
+	// Zero estimates are clamped to 1 before the ratio.
+	c.Observe("z", 0, 5)
+	if got := c.Factor("z"); got != 5 {
+		t.Fatalf("zero-estimate factor = %v, want 5", got)
+	}
+	// Keys are independent.
+	if got := c.Adjust("other", 7); got != 7 {
+		t.Fatalf("cross-key leak: %d", got)
+	}
+	// Nil receiver is a no-op passthrough (compilation without feedback).
+	var nilC *Chooser
+	nilC.Observe("k", 1, 2)
+	if nilC.Adjust("k", 9) != 9 || nilC.Factor("k") != 1 {
+		t.Fatal("nil Chooser not a passthrough")
+	}
+}

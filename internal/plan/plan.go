@@ -11,6 +11,7 @@ import (
 	"patchindex/internal/core"
 	"patchindex/internal/exec"
 	"patchindex/internal/pdt"
+	"patchindex/internal/storage"
 )
 
 // Options tune plan construction.
@@ -29,6 +30,27 @@ type Options struct {
 type PartitionInput struct {
 	View  *pdt.View
 	Index *core.Index // may be nil (no constraint defined)
+
+	// PruneCol/Ranges optionally enable minmax block pruning on every
+	// scan this partition contributes to a plan: storage blocks of view
+	// column PruneCol (a position in the view's schema, int64 only)
+	// whose [min,max] cannot intersect any of Ranges are skipped. Nil
+	// Ranges disables pruning. Pruning is only sound when the plan
+	// re-applies the originating predicate downstream (exec.Scan falls
+	// back to a full scan when the partition's delta makes block
+	// metadata unusable), so callers must keep the filter in the tree.
+	PruneCol int
+	Ranges   []storage.Range
+}
+
+// scan builds the partition scan, applying minmax pruning when set.
+func (in PartitionInput) scan(cols []int) *exec.Scan {
+	s := exec.NewScan(in.View, cols)
+	if in.Ranges != nil {
+		s.SetPruneColumn(in.PruneCol)
+		s.SetRanges(in.Ranges)
+	}
+	return s
 }
 
 // combine unions per-partition subtrees, in parallel when requested.
@@ -47,7 +69,7 @@ func combine(opts Options, parts []exec.Operator) exec.Operator {
 func DistinctReference(inputs []PartitionInput, col int, opts Options) exec.Operator {
 	parts := make([]exec.Operator, len(inputs))
 	for i, in := range inputs {
-		parts[i] = exec.NewScan(in.View, []int{col})
+		parts[i] = in.scan([]int{col})
 	}
 	return exec.NewDistinct(combine(opts, parts), []int{0})
 }
@@ -66,7 +88,7 @@ func Distinct(inputs []PartitionInput, col int, opts Options) exec.Operator {
 	uses := make([]exec.Operator, 0, len(inputs))
 	var totalPatches uint64
 	for i, in := range inputs {
-		scanEx := exec.NewScan(in.View, []int{col})
+		scanEx := in.scan([]int{col})
 		if opts.ZeroBranchPruning && in.Index.NumPatches() == 0 {
 			// This partition's patch subtree is provably empty; prune
 			// it, and the exclude filter with it (every tuple passes).
@@ -74,7 +96,7 @@ func Distinct(inputs []PartitionInput, col int, opts Options) exec.Operator {
 			continue
 		}
 		excludes[i] = exec.NewPatchFilter(scanEx, in.Index, exec.ExcludePatches)
-		scanUse := exec.NewScan(in.View, []int{col})
+		scanUse := in.scan([]int{col})
 		uses = append(uses, exec.NewPatchFilter(scanUse, in.Index, exec.UsePatches))
 		totalPatches += in.Index.NumPatches()
 	}
@@ -91,7 +113,7 @@ func Distinct(inputs []PartitionInput, col int, opts Options) exec.Operator {
 func SortReference(inputs []PartitionInput, col int, desc bool, opts Options) exec.Operator {
 	parts := make([]exec.Operator, len(inputs))
 	for i, in := range inputs {
-		parts[i] = exec.NewScan(in.View, []int{col})
+		parts[i] = in.scan([]int{col})
 	}
 	key := exec.SortKey{Col: 0, Desc: desc}
 	return exec.NewSort(combine(Options{}, parts), key)
@@ -107,13 +129,13 @@ func Sort(inputs []PartitionInput, col int, desc bool, opts Options) exec.Operat
 	key := exec.SortKey{Col: 0, Desc: desc}
 	parts := make([]exec.Operator, len(inputs))
 	for i, in := range inputs {
-		scanEx := exec.NewScan(in.View, []int{col})
+		scanEx := in.scan([]int{col})
 		exclude := exec.Operator(exec.NewPatchFilter(scanEx, in.Index, exec.ExcludePatches))
 		if opts.ZeroBranchPruning && in.Index.NumPatches() == 0 {
 			parts[i] = scanEx
 			continue
 		}
-		scanUse := exec.NewScan(in.View, []int{col})
+		scanUse := in.scan([]int{col})
 		use := exec.NewSort(
 			exec.NewPatchFilter(scanUse, in.Index, exec.UsePatches), key)
 		parts[i] = exec.NewMerge([]exec.SortKey{key}, exclude, use)
@@ -155,7 +177,7 @@ func (in JoinInput) transform(op exec.Operator) exec.Operator {
 func JoinReference(in JoinInput, opts Options) exec.Operator {
 	parts := make([]exec.Operator, len(in.Fact))
 	for i, f := range in.Fact {
-		scan := in.transform(exec.NewScan(f.View, in.FactCols))
+		scan := in.transform(f.scan(in.FactCols))
 		parts[i] = exec.NewHashJoin(scan, in.Dim(), in.FactKey, in.DimKey)
 	}
 	return combine(opts, parts)
@@ -171,7 +193,7 @@ func JoinReference(in JoinInput, opts Options) exec.Operator {
 func Join(in JoinInput, opts Options) exec.Operator {
 	parts := make([]exec.Operator, len(in.Fact))
 	for i, f := range in.Fact {
-		scanEx := exec.NewScan(f.View, in.FactCols)
+		scanEx := f.scan(in.FactCols)
 		exclude := exec.Operator(exec.NewPatchFilter(scanEx, f.Index, exec.ExcludePatches))
 		if opts.ZeroBranchPruning && f.Index.NumPatches() == 0 {
 			// Patch subtree pruned: a single MergeJoin remains.
@@ -182,7 +204,7 @@ func Join(in JoinInput, opts Options) exec.Operator {
 		cache := exec.NewReuseCache(in.Dim())
 		mj := exec.NewMergeJoin(in.transform(exclude), cache.Load(), in.FactKey, in.DimKey)
 
-		scanUse := exec.NewScan(f.View, in.FactCols)
+		scanUse := f.scan(in.FactCols)
 		use := in.transform(exec.NewPatchFilter(scanUse, f.Index, exec.UsePatches))
 		// Build side = patches, the side with the lowest cardinality:
 		// "building the hash table on the patches is often the best

@@ -1,0 +1,437 @@
+package query
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"patchindex/internal/core"
+	"patchindex/internal/engine"
+	"patchindex/internal/exec"
+	"patchindex/internal/joinindex"
+	"patchindex/internal/plan"
+	"patchindex/internal/storage"
+)
+
+func idxOpts() core.Options { return core.Options{Design: core.DesignBitmap, ShardBits: 64} }
+
+// factDim builds a two-table database: fact(fk,fv) with a NSC PatchIndex
+// on fk, and dim(dk,dv) loaded sorted by dk. corrupt values of fk are
+// overwritten with 0, creating NSC exceptions.
+func factDim(t *testing.T, factRows, dimRows, corrupt, parts int, dimVal func(i int) int64) *engine.Database {
+	t.Helper()
+	db := engine.NewDatabase()
+	fact, err := db.CreateTable("fact", storage.Schema{
+		{Name: "fk", Kind: storage.KindInt64},
+		{Name: "fv", Kind: storage.KindInt64},
+	}, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	rows := make([]storage.Row, factRows)
+	for i := range rows {
+		rows[i] = storage.Row{storage.I64(int64(i % dimRows)), storage.I64(int64(i * 3))}
+	}
+	// Keys cycle 0..dimRows-1 repeatedly; within a partition that is not
+	// sorted, so make them sorted first, then corrupt a few.
+	sort.Slice(rows, func(i, j int) bool { return rows[i][0].I < rows[j][0].I })
+	for c := 0; c < corrupt; c++ {
+		rows[rng.Intn(factRows)][0] = storage.I64(0)
+	}
+	fact.Load(rows)
+	if err := fact.CreatePatchIndex("fk", core.NearlySorted, idxOpts()); err != nil {
+		t.Fatal(err)
+	}
+	dim, err := db.CreateTable("dim", storage.Schema{
+		{Name: "dk", Kind: storage.KindInt64},
+		{Name: "dv", Kind: storage.KindInt64},
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drows := make([]storage.Row, dimRows)
+	for i := range drows {
+		drows[i] = storage.Row{storage.I64(int64(i)), storage.I64(dimVal(i))}
+	}
+	dim.Load(drows)
+	return db
+}
+
+func rowsKey(rows []storage.Row) string {
+	parts := make([]string, len(rows))
+	for i, r := range rows {
+		var b strings.Builder
+		for _, v := range r {
+			switch v.Kind {
+			case storage.KindInt64:
+				fmt.Fprintf(&b, "%d|", v.I)
+			case storage.KindFloat64:
+				fmt.Fprintf(&b, "%.4f|", v.F)
+			default:
+				fmt.Fprintf(&b, "%s|", v.S)
+			}
+		}
+		parts[i] = b.String()
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, "\n")
+}
+
+func mustRun(t *testing.T, db *engine.Database, p *Plan, opts Options) ([]storage.Row, *Compiled) {
+	t.Helper()
+	c, err := Run(db, p, opts)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	defer c.Root.Close()
+	rows, err := exec.Collect(c.Root)
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	return rows, c
+}
+
+func TestScanWhereProject(t *testing.T) {
+	db := engine.NewDatabase()
+	tb, _ := db.CreateTable("t", storage.Schema{
+		{Name: "a", Kind: storage.KindInt64},
+		{Name: "b", Kind: storage.KindString},
+		{Name: "c", Kind: storage.KindFloat64},
+	}, 2)
+	rows := []storage.Row{
+		{storage.I64(1), storage.Str("x"), storage.F64(1.5)},
+		{storage.I64(2), storage.Str("y"), storage.F64(2.5)},
+		{storage.I64(3), storage.Str("x"), storage.F64(3.5)},
+		{storage.I64(4), storage.Str("z"), storage.F64(4.5)},
+	}
+	tb.Load(rows)
+
+	p := From("t", "a", "b", "c").
+		Where(And(Ge(Col("a"), Int(2)), In(Col("b"), Str("x"), Str("z")))).
+		Project("b", "a")
+	got, _ := mustRun(t, db, p, Options{})
+	want := []storage.Row{
+		{storage.Str("x"), storage.I64(3)},
+		{storage.Str("z"), storage.I64(4)},
+	}
+	if rowsKey(got) != rowsKey(want) {
+		t.Fatalf("got\n%s\nwant\n%s", rowsKey(got), rowsKey(want))
+	}
+}
+
+func TestMapAggregateOrderLimit(t *testing.T) {
+	db := engine.NewDatabase()
+	tb, _ := db.CreateTable("t", storage.Schema{
+		{Name: "g", Kind: storage.KindInt64},
+		{Name: "v", Kind: storage.KindFloat64},
+	}, 1)
+	var rows []storage.Row
+	for i := 0; i < 100; i++ {
+		rows = append(rows, storage.Row{storage.I64(int64(i % 4)), storage.F64(float64(i))})
+	}
+	tb.Load(rows)
+
+	p := From("t", "g", "v").
+		Map("v2", Mul(Col("v"), Float(2))).
+		Aggregate([]string{"g"}, Sum(Col("v2"), "s"), CountAll("n")).
+		OrderBy(Desc("s")).
+		Limit(2)
+	got, _ := mustRun(t, db, p, Options{})
+	if len(got) != 2 {
+		t.Fatalf("limit: got %d rows", len(got))
+	}
+	// Group g sums 2*(g + g+4 + ... + g+96) = 2*(25g + 1200); g=3 largest.
+	if got[0][0].I != 3 || got[1][0].I != 2 {
+		t.Fatalf("order: got groups %d,%d want 3,2", got[0][0].I, got[1][0].I)
+	}
+	if got[0][1].F != 2*(25*3+1200) {
+		t.Fatalf("sum: got %v", got[0][1].F)
+	}
+	if got[0][2].I != 25 {
+		t.Fatalf("count: got %v", got[0][2].I)
+	}
+}
+
+// TestJoinModesAgree checks the same logical join plan produces identical
+// result sets under every access path, on both a low- and a
+// high-exception fact table.
+func TestJoinModesAgree(t *testing.T) {
+	for _, corrupt := range []int{5, 200} {
+		db := factDim(t, 400, 20, corrupt, 2, func(i int) int64 { return int64(i * 7) })
+		// Offer a joinindex too.
+		ji := joinindex.Create(db.MustTable("fact").Store(), 0, db.MustTable("dim").Store(), 0)
+		binding := JoinIndexBinding{FactTable: "fact", FactKey: "fk", DimTable: "dim", DimKey: "dk", JI: ji}
+
+		p := From("fact", "fk", "fv").
+			Where(Lt(Col("fv"), Int(900))).
+			Join(From("dim", "dk", "dv"), "fk", "dk").
+			Project("fk", "fv", "dv")
+
+		ref, c := mustRun(t, db, p, Options{Mode: ForceReference})
+		if len(c.Decisions) != 1 || c.Decisions[0].Access != plan.AccessReference {
+			t.Fatalf("corrupt=%d: reference decisions %+v", corrupt, c.Decisions)
+		}
+		for _, opts := range []Options{
+			{Mode: ForcePatchIndex},
+			{Mode: ForcePatchIndex, ZeroBranchPruning: true},
+			{Mode: ForcePatchIndex, Parallel: true},
+			{Mode: ForceJoinIndex, JoinIndexes: []JoinIndexBinding{binding}},
+			{Mode: Auto, JoinIndexes: []JoinIndexBinding{binding}},
+		} {
+			got, _ := mustRun(t, db, p, opts)
+			if rowsKey(got) != rowsKey(ref) {
+				t.Fatalf("corrupt=%d mode=%v: results differ from reference", corrupt, opts.Mode)
+			}
+		}
+	}
+}
+
+// TestJoinBreakEvenSwitch pins the acceptance criterion: the optimizer
+// switches between the patch-index join and the reference join as the
+// fact table's exception rate crosses the cost model's break-even.
+func TestJoinBreakEvenSwitch(t *testing.T) {
+	accessFor := func(corrupt int) Decision {
+		db := factDim(t, 400, 20, corrupt, 1, func(i int) int64 { return int64(i) })
+		p := From("fact", "fk", "fv").Join(From("dim", "dk", "dv"), "fk", "dk")
+		_, c := mustRun(t, db, p, Options{Mode: Auto})
+		if len(c.Decisions) != 1 {
+			t.Fatalf("want 1 decision, got %+v", c.Decisions)
+		}
+		return c.Decisions[0]
+	}
+
+	low := accessFor(5)
+	if low.Access != plan.AccessPatchIndex {
+		t.Fatalf("low exception rate (%d patches): chose %v, costs %+v", low.Patches, low.Access, low.Costs)
+	}
+	high := accessFor(250)
+	if high.Access != plan.AccessReference {
+		t.Fatalf("high exception rate (%d patches): chose %v, costs %+v", high.Patches, high.Access, high.Costs)
+	}
+	// The decisions must be exactly what the cost model dictates for the
+	// recorded statistics.
+	for _, d := range []Decision{low, high} {
+		want, _ := plan.ChooseJoin(d.FactRows, d.Patches, d.DimRows, true, false)
+		if d.Access != want {
+			t.Fatalf("decision %v disagrees with ChooseJoin %v for %+v", d.Access, want, d)
+		}
+		if d.Forced {
+			t.Fatalf("Auto decision marked forced: %+v", d)
+		}
+	}
+}
+
+// TestCardinalityFeedbackFlip drives the adaptive loop: the first
+// compilation underestimates the dimension subtree (selective-looking
+// filter that actually keeps most rows), picks the patch-index join, and
+// meters the real cardinality; the recompilation sees the corrected
+// estimate and flips to the reference join. Results stay identical.
+func TestCardinalityFeedbackFlip(t *testing.T) {
+	// dim: 3000 rows, dv=7 on 2500 of them. Eq selectivity is 0.1, so the
+	// filtered dim estimate is 300 (patch join wins); actually 2500 rows
+	// survive (reference join wins).
+	db := factDim(t, 400, 3000, 5, 1, func(i int) int64 {
+		if i < 2500 {
+			return 7
+		}
+		return 0
+	})
+	ch := plan.NewChooser()
+	p := From("fact", "fk", "fv").
+		Join(From("dim", "dk", "dv").Where(Eq(Col("dv"), Int(7))), "fk", "dk")
+	opts := Options{Mode: Auto, Chooser: ch}
+
+	first, c1 := mustRun(t, db, p, opts)
+	if c1.Decisions[0].Access != plan.AccessPatchIndex {
+		t.Fatalf("first run: chose %v (costs %+v), want patchindex", c1.Decisions[0].Access, c1.Decisions[0].Costs)
+	}
+	if f := ch.Factor(p.n.(*joinNode).right.fingerprint()); f < 5 {
+		t.Fatalf("feedback factor %v, want the ~8x underestimate observed", f)
+	}
+
+	second, c2 := mustRun(t, db, p, opts)
+	if c2.Decisions[0].Access != plan.AccessReference {
+		t.Fatalf("second run: chose %v (dim estimate %d), want reference after feedback",
+			c2.Decisions[0].Access, c2.Decisions[0].DimRows)
+	}
+	if rowsKey(first) != rowsKey(second) {
+		t.Fatal("results changed across the access-path flip")
+	}
+}
+
+// TestMinMaxPruning checks a pushed-down range predicate skips storage
+// blocks: the scan visits far fewer rows than the table holds, and the
+// result matches the unpruned run.
+func TestMinMaxPruning(t *testing.T) {
+	db := engine.NewDatabase()
+	tb, _ := db.CreateTable("t", storage.Schema{
+		{Name: "k", Kind: storage.KindInt64},
+		{Name: "v", Kind: storage.KindInt64},
+	}, 2)
+	const n = 16 * storage.BlockRows
+	rows := make([]storage.Row, n)
+	for i := range rows {
+		rows[i] = storage.Row{storage.I64(int64(i)), storage.I64(int64(i) * 2)}
+	}
+	tb.Load(rows)
+
+	p := From("t", "k", "v").Where(Between(Col("k"), Int(100), Int(199)))
+	got, c := mustRun(t, db, p, Options{})
+	if len(got) != 100 {
+		t.Fatalf("got %d rows, want 100", len(got))
+	}
+	var visited int
+	for _, s := range c.Scans {
+		visited += s.RowsVisited
+	}
+	if visited >= n/4 {
+		t.Fatalf("pruning ineffective: visited %d of %d rows", visited, n)
+	}
+
+	unpruned, c2 := mustRun(t, db, p, Options{DisablePruning: true})
+	var visited2 int
+	for _, s := range c2.Scans {
+		visited2 += s.RowsVisited
+	}
+	if visited2 != n {
+		t.Fatalf("unpruned scan visited %d of %d rows", visited2, n)
+	}
+	if rowsKey(got) != rowsKey(unpruned) {
+		t.Fatal("pruned and unpruned results differ")
+	}
+}
+
+// TestSortDistinctChoosable exercises the index-accelerated ORDER BY and
+// DISTINCT paths of the compiler against their generic lowerings.
+func TestSortDistinctChoosable(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	vals := make([]int64, 4000)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	for c := 0; c < 30; c++ {
+		vals[rng.Intn(len(vals))] = int64(rng.Intn(4000))
+	}
+
+	db := engine.NewDatabase()
+	nsc, _ := db.CreateTable("nsc", storage.Schema{{Name: "v", Kind: storage.KindInt64}}, 2)
+	engine.LoadColumnInt64(nsc, vals)
+	if err := nsc.CreatePatchIndex("v", core.NearlySorted, idxOpts()); err != nil {
+		t.Fatal(err)
+	}
+	nuc, _ := db.CreateTable("nuc", storage.Schema{{Name: "v", Kind: storage.KindInt64}}, 2)
+	engine.LoadColumnInt64(nuc, vals)
+	if err := nuc.CreatePatchIndex("v", core.NearlyUnique, idxOpts()); err != nil {
+		t.Fatal(err)
+	}
+
+	sorted := From("nsc", "v").OrderBy(Asc("v"))
+	ref, c := mustRun(t, db, sorted, Options{Mode: ForceReference})
+	if len(c.Decisions) != 1 || c.Decisions[0].Access != plan.AccessReference {
+		t.Fatalf("sort reference decisions: %+v", c.Decisions)
+	}
+	for _, mode := range []Mode{ForcePatchIndex, Auto} {
+		got, c := mustRun(t, db, sorted, Options{Mode: mode})
+		if len(c.Decisions) != 1 {
+			t.Fatalf("sort mode %v: decisions %+v", mode, c.Decisions)
+		}
+		for i := range got {
+			if got[i][0].I != ref[i][0].I {
+				t.Fatalf("sort mode %v: row %d = %d, want %d (access %v)",
+					mode, i, got[i][0].I, ref[i][0].I, c.Decisions[0].Access)
+			}
+		}
+	}
+
+	distinct := From("nuc", "v").Distinct("v")
+	dref, _ := mustRun(t, db, distinct, Options{Mode: ForceReference})
+	for _, mode := range []Mode{ForcePatchIndex, Auto} {
+		got, c := mustRun(t, db, distinct, Options{Mode: mode})
+		if rowsKey(got) != rowsKey(dref) {
+			t.Fatalf("distinct mode %v (access %v): result differs", mode, c.Decisions[0].Access)
+		}
+	}
+	// Descending over an ascending index must not take the patch plan.
+	desc := From("nsc", "v").OrderBy(Desc("v"))
+	got, c2 := mustRun(t, db, desc, Options{Mode: ForcePatchIndex})
+	if len(c2.Decisions) != 0 {
+		t.Fatalf("desc sort over asc index recorded a choosable decision: %+v", c2.Decisions)
+	}
+	for i := range got {
+		if got[i][0].I != ref[len(ref)-1-i][0].I {
+			t.Fatalf("desc sort wrong at %d", i)
+		}
+	}
+}
+
+// TestAutoMatchesReferenceProperty is the randomized property test:
+// arbitrary plans over seeded random data must produce identical result
+// sets under Auto and ForceReference.
+func TestAutoMatchesReferenceProperty(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		factRows := 200 + rng.Intn(800)
+		dimRows := 5 + rng.Intn(50)
+		corrupt := rng.Intn(factRows / 2)
+		db := factDim(t, factRows, dimRows, corrupt, 1+rng.Intn(3), func(i int) int64 {
+			return int64(i * 13 % 97)
+		})
+
+		cut := int64(rng.Intn(3 * factRows))
+		p := From("fact", "fk", "fv").
+			Where(Lt(Col("fv"), Int(cut))).
+			Join(From("dim", "dk", "dv"), "fk", "dk").
+			Map("score", Add(Col("fv"), Col("dv"))).
+			Aggregate([]string{"dk"}, Sum(Col("score"), "s"), CountAll("n"))
+
+		ref, _ := mustRun(t, db, p, Options{Mode: ForceReference})
+		auto, _ := mustRun(t, db, p, Options{Mode: Auto, ZeroBranchPruning: rng.Intn(2) == 0})
+		if rowsKey(ref) != rowsKey(auto) {
+			t.Fatalf("seed %d: Auto result differs from ForceReference", seed)
+		}
+	}
+}
+
+func TestForceJoinIndexWithoutBinding(t *testing.T) {
+	db := factDim(t, 50, 10, 0, 1, func(i int) int64 { return int64(i) })
+	p := From("fact", "fk", "fv").Join(From("dim", "dk", "dv"), "fk", "dk")
+	if _, err := Run(db, p, Options{Mode: ForceJoinIndex}); err == nil {
+		t.Fatal("ForceJoinIndex without a binding did not error")
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	db := factDim(t, 50, 10, 0, 1, func(i int) int64 { return int64(i) })
+	cases := []*Plan{
+		From("missing", "x"),
+		From("fact", "nope"),
+		From("fact", "fk").Where(Eq(Col("gone"), Int(1))),
+		From("fact", "fk", "fv").Project("gone"),
+		From("fact", "fk", "fv").Join(From("dim", "dk"), "fv2", "dk"),
+		From("fact", "fk", "fv").OrderBy(Asc("gone")),
+		From("fact", "fk").Where(Add(Col("fk"), Int(1))), // non-boolean predicate
+	}
+	for i, p := range cases {
+		if _, err := Run(db, p, Options{}); err == nil {
+			t.Fatalf("case %d: no error", i)
+		}
+	}
+}
+
+func TestTablesAndFingerprint(t *testing.T) {
+	p := From("b", "x").Join(From("a", "y"), "x", "y")
+	tabs := p.Tables()
+	if len(tabs) != 2 || tabs[0] != "a" || tabs[1] != "b" {
+		t.Fatalf("Tables() = %v", tabs)
+	}
+	q := From("b", "x").Join(From("a", "y"), "x", "y")
+	if p.Fingerprint() != q.Fingerprint() {
+		t.Fatal("structurally identical plans have different fingerprints")
+	}
+	if p.Fingerprint() == From("b", "x").Join(From("a", "z"), "x", "z").Fingerprint() {
+		t.Fatal("different plans share a fingerprint")
+	}
+}

@@ -111,14 +111,18 @@ func TestGoldenResultsPostInsert(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
-		q := ds.Queries() // one post-insert snapshot for both plans
+		// Built after the inserts, so the gather references line up with
+		// the post-insert state the snapshot freezes.
+		ji := ds.CreateJoinIndex()
+		q := ds.Queries() // one post-insert snapshot for all plans
 		defer q.Close()
 		for _, name := range []string{"Q3", "Q7", "Q12"} {
 			ref := goldenRun(t, q, name, ModeReference, nil)
-			pi := goldenRun(t, q, name, ModePatchIndex, nil)
-			if pi != ref {
-				t.Fatalf("%s/%s post-insert: patch-indexed plan disagrees with full-scan reference:\nPI:\n%s\nref:\n%s",
-					cfg.name, name, pi, ref)
+			for _, mode := range []Mode{ModePatchIndex, ModeZBP, ModeJoinIndex} {
+				if got := goldenRun(t, q, name, mode, ji); got != ref {
+					t.Fatalf("%s/%s post-insert: %v plan disagrees with full-scan reference:\ngot:\n%s\nref:\n%s",
+						cfg.name, name, mode, got, ref)
+				}
 			}
 			fmt.Fprintf(&b, "== %s %s ==\n%s", cfg.name, name, ref)
 		}
@@ -161,14 +165,16 @@ func TestGoldenResults(t *testing.T) {
 			var b strings.Builder
 			for _, cfg := range goldenConfigs {
 				ds := goldenDataset(t, sf, cfg.e)
-				q := ds.Queries() // one snapshot for all queries and both plans
+				ji := ds.CreateJoinIndex()
+				q := ds.Queries() // one snapshot for all queries and all plans
 				defer q.Close()
 				for _, name := range []string{"Q3", "Q7", "Q12"} {
 					ref := goldenRun(t, q, name, ModeReference, nil)
-					pi := goldenRun(t, q, name, ModePatchIndex, nil)
-					if pi != ref {
-						t.Fatalf("%s/%s: patch-indexed plan disagrees with full-scan reference:\nPI:\n%s\nref:\n%s",
-							cfg.name, name, pi, ref)
+					for _, mode := range []Mode{ModePatchIndex, ModeZBP, ModeJoinIndex} {
+						if got := goldenRun(t, q, name, mode, ji); got != ref {
+							t.Fatalf("%s/%s: %v plan disagrees with full-scan reference:\ngot:\n%s\nref:\n%s",
+								cfg.name, name, mode, got, ref)
+						}
 					}
 					if name != "Q3" && ref == "" {
 						t.Fatalf("%s/%s returned no rows; weak golden", cfg.name, name)

@@ -7,7 +7,7 @@ import (
 	"patchindex/internal/engine"
 	"patchindex/internal/exec"
 	"patchindex/internal/joinindex"
-	"patchindex/internal/plan"
+	"patchindex/internal/query"
 	"patchindex/internal/storage"
 )
 
@@ -72,6 +72,12 @@ func (ds *Dataset) Snapshot() *engine.DatabaseSnapshot {
 // gather of Q3/Q7/Q12 reads the same multi-table instant, and repeated
 // executions return identical results regardless of concurrent
 // refreshes.
+//
+// The queries are expressed as logical plans (Q3Plan/Q7Plan/Q12Plan) and
+// lowered through the general query layer (internal/query); a Mode maps
+// onto the compiler's forced access modes, so the hand-built operator
+// trees of the earlier revisions fall out of the generic lowering (the
+// equivalence is pinned byte-for-byte by the handbuilt tests).
 //
 // ModeJoinIndex caveat: the JoinIndex's reference columns live outside
 // the engine. They are captured (deep-copied) on the first
@@ -175,48 +181,53 @@ func (q *Queries) refsFor(ji *joinindex.Index) ([][]int64, error) {
 	return refs, nil
 }
 
-func (q *Queries) joinInput(factCols []int, transform func(exec.Operator) exec.Operator, dim func() exec.Operator) plan.JoinInput {
-	return plan.JoinInput{
-		Fact:          q.snap.MustTable("lineitem").Inputs("l_orderkey"),
-		FactCols:      factCols,
-		FactKey:       0,
-		Dim:           dim,
-		DimKey:        0,
-		FactTransform: transform,
-	}
-}
-
-// joined builds the lineitem ⋈ orders core of a query in the requested
-// mode. ji is only used by ModeJoinIndex; dimCols are the orders columns
-// a JoinIndex gather must fetch (excluding o_orderkey). The JoinIndex
-// path scans the snapshot's frozen lineitem views and gathers from the
-// snapshot's frozen orders views, keeping it on the same instant as the
-// other modes.
-func (q *Queries) joined(mode Mode, in plan.JoinInput, ji *joinindex.Index, factCols, jiDimCols []int, jiTransform func(exec.Operator) exec.Operator) (exec.Operator, error) {
+// options maps a Fig. 10 mode onto the query compiler's options.
+func (q *Queries) options(mode Mode, ji *joinindex.Index) (query.Options, error) {
 	switch mode {
 	case ModeReference:
-		return plan.JoinReference(in, plan.Options{}), nil
+		return query.Options{Mode: query.ForceReference}, nil
 	case ModePatchIndex:
-		return plan.Join(in, plan.Options{}), nil
+		return query.Options{Mode: query.ForcePatchIndex}, nil
 	case ModeZBP:
-		return plan.Join(in, plan.Options{ZeroBranchPruning: true}), nil
+		return query.Options{Mode: query.ForcePatchIndex, ZeroBranchPruning: true}, nil
 	case ModeJoinIndex:
 		if ji == nil {
-			return nil, fmt.Errorf("tpch: ModeJoinIndex requires a JoinIndex")
+			return query.Options{}, fmt.Errorf("tpch: ModeJoinIndex requires a JoinIndex")
 		}
 		refs, err := q.refsFor(ji)
 		if err != nil {
-			return nil, err
+			return query.Options{}, err
 		}
-		fact := q.snap.MustTable("lineitem").Views()
-		dim := q.snap.MustTable("orders").Views()
-		return jiTransform(ji.JoinOn(fact, dim, refs, factCols, jiDimCols)), nil
+		return query.Options{
+			Mode: query.ForceJoinIndex,
+			JoinIndexes: []query.JoinIndexBinding{{
+				FactTable: "lineitem", FactKey: "l_orderkey",
+				DimTable: "orders", DimKey: "o_orderkey",
+				JI: ji, Refs: refs,
+			}},
+		}, nil
 	}
-	return nil, fmt.Errorf("tpch: unknown mode %d", mode)
+	return query.Options{}, fmt.Errorf("tpch: unknown mode %d", mode)
 }
 
-// Q3 — Shipping Priority: revenue of undelivered orders of one market
-// segment. Contains the largest lineitem ⋈ orders join of the subset.
+// Compile lowers a logical plan against this Queries' snapshot in the
+// given mode. The returned operator reads the snapshot; drain it before
+// Close.
+func (q *Queries) Compile(p *query.Plan, mode Mode, ji *joinindex.Index) (exec.Operator, error) {
+	opts, err := q.options(mode, ji)
+	if err != nil {
+		return nil, err
+	}
+	c, err := query.CompileSnapshot(p, q.snap, opts)
+	if err != nil {
+		return nil, err
+	}
+	return c.Root, nil
+}
+
+// Q3Plan — Shipping Priority: revenue of undelivered orders of one
+// market segment. Contains the largest lineitem ⋈ orders join of the
+// subset.
 //
 //	SELECT l_orderkey, sum(l_extendedprice*(1-l_discount)) AS revenue,
 //	       o_orderdate, o_shippriority
@@ -225,69 +236,23 @@ func (q *Queries) joined(mode Mode, in plan.JoinInput, ji *joinindex.Index, fact
 //	  AND l_orderkey = o_orderkey AND o_orderdate < 1995-03-15
 //	  AND l_shipdate > 1995-03-15
 //	GROUP BY l_orderkey, o_orderdate, o_shippriority
-func (q *Queries) Q3(mode Mode, ji *joinindex.Index) (exec.Operator, error) {
-	customerBuild := func() exec.Operator {
-		c := q.snap.MustTable("customer")
-		return exec.NewFilter(c.ScanAll("c_custkey", "c_mktsegment"), exec.StrEq(1, q3Segment))
-	}
-	dim := func() exec.Operator {
-		o := q.snap.MustTable("orders")
-		scan := o.ScanAll("o_orderkey", "o_custkey", "o_orderdate", "o_shippriority")
-		filtered := exec.NewFilter(scan, exec.Int64Less(2, q3Date))
-		// Probe side = orders: preserves o_orderkey order for MergeJoin.
-		return exec.NewHashJoin(filtered, customerBuild(), 1, 0)
-	}
-	// Fact schema after projection: [l_orderkey, l_shipdate,
-	// l_extendedprice, l_discount].
-	factCols := []int{0, 2, 5, 6}
-	shipFilter := func(op exec.Operator) exec.Operator {
-		return exec.NewFilter(op, exec.Int64Greater(1, q3Date))
-	}
-
-	var joined exec.Operator
-	var err error
-	if mode == ModeJoinIndex {
-		// Gather o_custkey, o_orderdate, o_shippriority positionally,
-		// then apply the date filters and the customer join.
-		jiTransform := func(op exec.Operator) exec.Operator {
-			f := exec.NewFilter(op, exec.And(
-				exec.Int64Greater(1, q3Date), // l_shipdate
-				exec.Int64Less(5, q3Date),    // o_orderdate
-			))
-			return exec.NewHashJoin(f, customerBuild(), 4, 0) // o_custkey
-		}
-		joined, err = q.joined(mode, plan.JoinInput{}, ji, factCols, []int{1, 2, 3}, jiTransform)
-		if err != nil {
-			return nil, err
-		}
-		// Schema: [l_ok, l_ship, l_ext, l_disc, o_custkey, o_date,
-		// o_prio, c_custkey, c_seg]; group cols below.
-		rev := exec.NewComputeFloat64(joined, "revenue", func(b *exec.Batch, i int) float64 {
-			return b.Cols[2].F64[i] * (1 - b.Cols[3].F64[i])
-		})
-		agg := exec.NewHashAggregate(rev, []int{0, 5, 6}, []exec.AggSpec{
-			{Func: exec.AggSum, Col: 9, Name: "revenue"},
-		})
-		return exec.NewLimit(exec.NewSort(agg, exec.SortKey{Col: 3, Desc: true}), 10), nil
-	}
-
-	in := q.joinInput(factCols, shipFilter, dim)
-	joined, err = q.joined(mode, in, nil, nil, nil, nil)
-	if err != nil {
-		return nil, err
-	}
-	// Joined schema: [l_ok, l_ship, l_ext, l_disc] ++ [o_ok, o_ck,
-	// o_date, o_prio, c_ck, c_seg].
-	rev := exec.NewComputeFloat64(joined, "revenue", func(b *exec.Batch, i int) float64 {
-		return b.Cols[2].F64[i] * (1 - b.Cols[3].F64[i])
-	})
-	agg := exec.NewHashAggregate(rev, []int{0, 6, 7}, []exec.AggSpec{
-		{Func: exec.AggSum, Col: 10, Name: "revenue"},
-	})
-	return exec.NewLimit(exec.NewSort(agg, exec.SortKey{Col: 3, Desc: true}), 10), nil
+func Q3Plan() *query.Plan {
+	customer := query.From("customer", "c_custkey", "c_mktsegment").
+		Where(query.Eq(query.Col("c_mktsegment"), query.Str(q3Segment)))
+	orders := query.From("orders", "o_orderkey", "o_custkey", "o_orderdate", "o_shippriority").
+		Where(query.Lt(query.Col("o_orderdate"), query.Int(q3Date))).
+		Join(customer, "o_custkey", "c_custkey")
+	return query.From("lineitem", "l_orderkey", "l_shipdate", "l_extendedprice", "l_discount").
+		Where(query.Gt(query.Col("l_shipdate"), query.Int(q3Date))).
+		Join(orders, "l_orderkey", "o_orderkey").
+		Aggregate([]string{"l_orderkey", "o_orderdate", "o_shippriority"},
+			query.Sum(query.Mul(query.Col("l_extendedprice"),
+				query.Sub(query.Float(1), query.Col("l_discount"))), "revenue")).
+		OrderBy(query.Desc("revenue")).
+		Limit(10)
 }
 
-// Q7 — Volume Shipping between two nations.
+// Q7Plan — Volume Shipping between two nations.
 //
 //	SELECT supp_nation, cust_nation, l_year, sum(volume)
 //	FROM supplier, lineitem, orders, customer, nation n1, nation n2
@@ -296,78 +261,36 @@ func (q *Queries) Q3(mode Mode, ji *joinindex.Index) (exec.Operator, error) {
 //	  AND ((n1=FRANCE AND n2=GERMANY) OR (n1=GERMANY AND n2=FRANCE))
 //	  AND l_shipdate BETWEEN 1995-01-01 AND 1996-12-31
 //	GROUP BY supp_nation, cust_nation, l_year
-func (q *Queries) Q7(mode Mode, ji *joinindex.Index) (exec.Operator, error) {
-	nationPair := func(sCol, cCol int) exec.Pred {
-		return func(b *exec.Batch, i int) bool {
-			s, c := b.Cols[sCol].I64[i], b.Cols[cCol].I64[i]
-			return (s == q7Nation1 && c == q7Nation2) || (s == q7Nation2 && c == q7Nation1)
-		}
-	}
-	supplierBuild := func() exec.Operator {
-		s := q.snap.MustTable("supplier")
-		return exec.NewFilter(s.ScanAll("s_suppkey", "s_nationkey"), func(b *exec.Batch, i int) bool {
-			n := b.Cols[1].I64[i]
-			return n == q7Nation1 || n == q7Nation2
-		})
-	}
-	customerBuild := func() exec.Operator {
-		c := q.snap.MustTable("customer")
-		return exec.NewFilter(c.ScanAll("c_custkey", "c_nationkey"), func(b *exec.Batch, i int) bool {
-			n := b.Cols[1].I64[i]
-			return n == q7Nation1 || n == q7Nation2
-		})
-	}
-	dim := func() exec.Operator {
-		o := q.snap.MustTable("orders")
-		scan := o.ScanAll("o_orderkey", "o_custkey")
-		return exec.NewHashJoin(scan, customerBuild(), 1, 0)
-	}
-	// Fact projection: [l_orderkey, l_suppkey, l_shipdate,
-	// l_extendedprice, l_discount].
-	factCols := []int{0, 1, 2, 5, 6}
-	transform := func(op exec.Operator) exec.Operator {
-		f := exec.NewFilter(op, exec.Int64Range(2, q7From, q7To))
-		return exec.NewHashJoin(f, supplierBuild(), 1, 0)
-	}
-
-	var joined exec.Operator
-	var err error
-	var sNat, cNat, ship, ext, disc int
-	if mode == ModeJoinIndex {
-		jiTransform := func(op exec.Operator) exec.Operator {
-			// op: [l_ok, l_sk, l_ship, l_ext, l_disc, o_custkey]
-			f := exec.NewFilter(op, exec.Int64Range(2, q7From, q7To))
-			sj := exec.NewHashJoin(f, supplierBuild(), 1, 0)   // + s_sk, s_nat
-			return exec.NewHashJoin(sj, customerBuild(), 5, 0) // + c_ck, c_nat
-		}
-		joined, err = q.joined(mode, plan.JoinInput{}, ji, factCols, []int{1}, jiTransform)
-		sNat, cNat, ship, ext, disc = 7, 9, 2, 3, 4
-	} else {
-		in := q.joinInput(factCols, transform, dim)
-		joined, err = q.joined(mode, in, nil, nil, nil, nil)
-		// Joined: [l_ok, l_sk, l_ship, l_ext, l_disc, s_sk, s_nat] ++
-		// [o_ok, o_ck, c_ck, c_nat].
-		sNat, cNat, ship, ext, disc = 6, 10, 2, 3, 4
-	}
-	if err != nil {
-		return nil, err
-	}
-	filtered := exec.NewFilter(joined, nationPair(sNat, cNat))
-	vol := exec.NewComputeFloat64(filtered, "volume", func(b *exec.Batch, i int) float64 {
-		return b.Cols[ext].F64[i] * (1 - b.Cols[disc].F64[i])
-	})
-	volCol := len(vol.Schema()) - 1
-	year := exec.NewComputeInt64(vol, "l_year", func(b *exec.Batch, i int) int64 {
-		return Year(b.Cols[ship].I64[i])
-	})
-	yearCol := len(year.Schema()) - 1
-	agg := exec.NewHashAggregate(year, []int{sNat, cNat, yearCol}, []exec.AggSpec{
-		{Func: exec.AggSum, Col: volCol, Name: "volume"},
-	})
-	return exec.NewSort(agg, exec.SortKey{Col: 0}, exec.SortKey{Col: 1}, exec.SortKey{Col: 2}), nil
+func Q7Plan() *query.Plan {
+	nations := []query.Expr{query.Int(q7Nation1), query.Int(q7Nation2)}
+	supplier := query.From("supplier", "s_suppkey", "s_nationkey").
+		Where(query.In(query.Col("s_nationkey"), nations...))
+	customer := query.From("customer", "c_custkey", "c_nationkey").
+		Where(query.In(query.Col("c_nationkey"), nations...))
+	orders := query.From("orders", "o_orderkey", "o_custkey").
+		Join(customer, "o_custkey", "c_custkey")
+	pair := query.Or(
+		query.And(
+			query.Eq(query.Col("s_nationkey"), query.Int(q7Nation1)),
+			query.Eq(query.Col("c_nationkey"), query.Int(q7Nation2))),
+		query.And(
+			query.Eq(query.Col("s_nationkey"), query.Int(q7Nation2)),
+			query.Eq(query.Col("c_nationkey"), query.Int(q7Nation1))))
+	return query.From("lineitem", "l_orderkey", "l_suppkey", "l_shipdate", "l_extendedprice", "l_discount").
+		Where(query.Between(query.Col("l_shipdate"), query.Int(q7From), query.Int(q7To))).
+		Join(supplier, "l_suppkey", "s_suppkey").
+		Join(orders, "l_orderkey", "o_orderkey").
+		Where(pair).
+		Map("volume", query.Mul(query.Col("l_extendedprice"),
+			query.Sub(query.Float(1), query.Col("l_discount")))).
+		// Year() inlined: 1992 + date/365 (integer division).
+		Map("l_year", query.Add(query.Int(1992), query.Div(query.Col("l_shipdate"), query.Int(365)))).
+		Aggregate([]string{"s_nationkey", "c_nationkey", "l_year"},
+			query.Sum(query.Col("volume"), "volume")).
+		OrderBy(query.Asc("s_nationkey"), query.Asc("c_nationkey"), query.Asc("l_year"))
 }
 
-// Q12 — Shipping Modes and Order Priority: a small join after heavy
+// Q12Plan — Shipping Modes and Order Priority: a small join after heavy
 // selections; the query where subtree cloning overhead can outweigh the
 // MergeJoin benefit (Section 6.3).
 //
@@ -379,50 +302,40 @@ func (q *Queries) Q7(mode Mode, ji *joinindex.Index) (exec.Operator, error) {
 //	  AND l_commitdate < l_receiptdate AND l_shipdate < l_commitdate
 //	  AND l_receiptdate >= 1994-01-01 AND l_receiptdate < 1995-01-01
 //	GROUP BY l_shipmode
-func (q *Queries) Q12(mode Mode, ji *joinindex.Index) (exec.Operator, error) {
-	// Fact projection: [l_orderkey, l_shipdate, l_commitdate,
-	// l_receiptdate, l_shipmode].
-	factCols := []int{0, 2, 3, 4, 7}
-	liPred := exec.And(
-		exec.StrIn(4, q12Modes...),
-		func(b *exec.Batch, i int) bool { return b.Cols[2].I64[i] < b.Cols[3].I64[i] },
-		func(b *exec.Batch, i int) bool { return b.Cols[1].I64[i] < b.Cols[2].I64[i] },
-		exec.Int64Range(3, q12From, q12To-1),
-	)
-	transform := func(op exec.Operator) exec.Operator { return exec.NewFilter(op, liPred) }
-	dim := func() exec.Operator {
-		return q.snap.MustTable("orders").ScanAll("o_orderkey", "o_orderpriority")
+func Q12Plan() *query.Plan {
+	modes := make([]query.Expr, len(q12Modes))
+	for i, m := range q12Modes {
+		modes[i] = query.Str(m)
 	}
+	return query.From("lineitem", "l_orderkey", "l_shipdate", "l_commitdate", "l_receiptdate", "l_shipmode").
+		Where(query.And(
+			query.In(query.Col("l_shipmode"), modes...),
+			query.Lt(query.Col("l_commitdate"), query.Col("l_receiptdate")),
+			query.Lt(query.Col("l_shipdate"), query.Col("l_commitdate")),
+			query.Between(query.Col("l_receiptdate"), query.Int(q12From), query.Int(q12To-1)),
+		)).
+		Join(query.From("orders", "o_orderkey", "o_orderpriority"), "l_orderkey", "o_orderkey").
+		Map("is_high", query.If(
+			query.In(query.Col("o_orderpriority"), query.Int(PrioUrgent), query.Int(PrioHigh)),
+			query.Int(1), query.Int(0))).
+		Map("is_low", query.Sub(query.Int(1), query.Col("is_high"))).
+		Aggregate([]string{"l_shipmode"},
+			query.Sum(query.Col("is_high"), "high_line_count"),
+			query.Sum(query.Col("is_low"), "low_line_count")).
+		OrderBy(query.Asc("l_shipmode"))
+}
 
-	var joined exec.Operator
-	var err error
-	var prioCol int
-	if mode == ModeJoinIndex {
-		joined, err = q.joined(mode, plan.JoinInput{}, ji, factCols, []int{4}, transform)
-		prioCol = 5
-	} else {
-		in := q.joinInput(factCols, transform, dim)
-		joined, err = q.joined(mode, in, nil, nil, nil, nil)
-		prioCol = 6
-	}
-	if err != nil {
-		return nil, err
-	}
-	high := exec.NewComputeInt64(joined, "is_high", func(b *exec.Batch, i int) int64 {
-		if p := b.Cols[prioCol].I64[i]; p == PrioUrgent || p == PrioHigh {
-			return 1
-		}
-		return 0
-	})
-	highCol := len(high.Schema()) - 1
-	low := exec.NewComputeInt64(high, "is_low", func(b *exec.Batch, i int) int64 {
-		return 1 - b.Cols[highCol].I64[i]
-	})
-	agg := exec.NewHashAggregate(low, []int{4}, []exec.AggSpec{
-		{Func: exec.AggSum, Col: highCol, Name: "high_line_count"},
-		{Func: exec.AggSum, Col: highCol + 1, Name: "low_line_count"},
-	})
-	return exec.NewSort(agg, exec.SortKey{Col: 0}), nil
+// Q3, Q7, Q12 compile the logical plans against this Queries' snapshot.
+func (q *Queries) Q3(mode Mode, ji *joinindex.Index) (exec.Operator, error) {
+	return q.Compile(Q3Plan(), mode, ji)
+}
+
+func (q *Queries) Q7(mode Mode, ji *joinindex.Index) (exec.Operator, error) {
+	return q.Compile(Q7Plan(), mode, ji)
+}
+
+func (q *Queries) Q12(mode Mode, ji *joinindex.Index) (exec.Operator, error) {
+	return q.Compile(Q12Plan(), mode, ji)
 }
 
 // ResultRows drains a query into boxed rows for comparison and printing.
