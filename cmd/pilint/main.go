@@ -1,13 +1,23 @@
 // Pilint runs the patchindex concurrency-invariant analyzers.
 //
-// Standalone:
+// Standalone (analyzes _test.go files too; -test=false to skip them):
 //
 //	go run ./cmd/pilint ./...
+//	go run ./cmd/pilint -json ./...      # findings as a JSON array
+//	go run ./cmd/pilint -lockgraph ./... # lock graph as DOT on stdout
 //
 // As a vet tool (same analyzers, cached by the go command):
 //
 //	go build -o /tmp/pilint ./cmd/pilint
 //	go vet -vettool=/tmp/pilint ./...
+//
+// The per-package analyzers are interprocedural: every package's
+// per-function lock behavior is summarized into serialized facts
+// (internal/analysis/locksum) computed bottom-up over the dependency
+// graph, so lockorder and lockblock see through arbitrary call chains,
+// across package boundaries. The lockgraph whole-program check builds
+// the global acquired-while-holding graph from the same facts and
+// reports cycles — including among mutexes that carry no rank.
 //
 // See the analyzer package docs (internal/analysis/...) for what each
 // check enforces and internal/analysis/driver for the suppression
@@ -16,17 +26,28 @@ package main
 
 import (
 	"patchindex/internal/analysis/atomicmix"
+	"patchindex/internal/analysis/closeowner"
 	"patchindex/internal/analysis/deferunlock"
 	"patchindex/internal/analysis/driver"
+	"patchindex/internal/analysis/lockblock"
+	"patchindex/internal/analysis/lockgraph"
 	"patchindex/internal/analysis/lockorder"
+	"patchindex/internal/analysis/rankdecl"
 	"patchindex/internal/analysis/snapclose"
 )
 
 func main() {
-	driver.Main(
-		lockorder.Analyzer,
-		snapclose.Analyzer,
-		atomicmix.Analyzer,
-		deferunlock.Analyzer,
-	)
+	driver.Main(driver.Suite{
+		Analyzers: []*driver.Analyzer{
+			lockorder.Analyzer,
+			lockblock.Analyzer,
+			rankdecl.Analyzer,
+			snapclose.Analyzer,
+			closeowner.Analyzer,
+			atomicmix.Analyzer,
+			deferunlock.Analyzer,
+		},
+		Globals: []*driver.GlobalCheck{lockgraph.Check},
+		Graph:   lockgraph.WriteDot,
+	})
 }

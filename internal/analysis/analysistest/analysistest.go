@@ -74,7 +74,7 @@ func Run(t *testing.T, testdata string, a *driver.Analyzer, pkgs ...string) {
 			t.Errorf("loading fixture %s: %v", pkg, err)
 			continue
 		}
-		findings, err := driver.RunAnalyzers(unit, []*driver.Analyzer{a})
+		findings, err := driver.RunAnalyzers(unit, []*driver.Analyzer{a}, ld.facts)
 		if err != nil {
 			t.Errorf("running %s on fixture %s: %v", a.Name, pkg, err)
 			continue
@@ -141,15 +141,20 @@ func checkExpectations(t *testing.T, fset *token.FileSet, files []*ast.File, fin
 }
 
 // parseWant extracts the patterns of one `// want "re" ...` comment.
+// The marker may also be embedded after other comment content
+// (`//pilint:ignore foo reason // want "..."`) — necessary where the
+// expectation targets a diagnostic about the carrying comment itself.
 func parseWant(t *testing.T, fset *token.FileSet, c *ast.Comment) []*expectation {
 	t.Helper()
-	text, ok := strings.CutPrefix(c.Text, "//")
-	if !ok {
+	if !strings.HasPrefix(c.Text, "//") {
 		return nil // block comments are not expectation carriers
 	}
-	text = strings.TrimSpace(text)
-	rest, ok := strings.CutPrefix(text, "want ")
-	if !ok {
+	var rest string
+	if after, ok := strings.CutPrefix(strings.TrimSpace(c.Text[2:]), "want "); ok {
+		rest = after
+	} else if i := strings.Index(c.Text, "// want "); i >= 0 {
+		rest = c.Text[i+len("// want "):]
+	} else {
 		return nil
 	}
 	posn := fset.Position(c.Pos())
@@ -195,6 +200,7 @@ type fixtureLoader struct {
 	typed   map[string]*types.Package
 	loading map[string]bool
 	std     *stdImporter
+	facts   *driver.FactStore
 }
 
 func newFixtureLoader(src string) *fixtureLoader {
@@ -205,10 +211,14 @@ func newFixtureLoader(src string) *fixtureLoader {
 		typed:   make(map[string]*types.Package),
 		loading: make(map[string]bool),
 		std:     newStdImporter(fset),
+		facts:   driver.NewFactStore(),
 	}
 }
 
 // load parses and typechecks testdata/src/<path> as an analysis unit.
+// Facts are computed for the unit and (via Import) every sibling
+// fixture it depends on, so interprocedural fixtures see the same
+// bottom-up fact flow as a real load.
 func (l *fixtureLoader) load(path string) (*driver.Unit, error) {
 	files, err := l.parseDir(path)
 	if err != nil {
@@ -220,7 +230,11 @@ func (l *fixtureLoader) load(path string) (*driver.Unit, error) {
 	if err != nil {
 		return nil, fmt.Errorf("typecheck fixture %s: %v", path, err)
 	}
-	return &driver.Unit{ImportPath: path, Fset: l.fset, Files: files, Pkg: pkg, Info: info}, nil
+	unit := &driver.Unit{ImportPath: path, Fset: l.fset, Files: files, Pkg: pkg, Info: info}
+	if err := driver.ComputeFacts(unit, l.facts); err != nil {
+		return nil, fmt.Errorf("computing facts for fixture %s: %v", path, err)
+	}
+	return unit, nil
 }
 
 func (l *fixtureLoader) parseDir(path string) ([]*ast.File, error) {
@@ -267,10 +281,17 @@ func (l *fixtureLoader) Import(path string) (*types.Package, error) {
 		if err != nil {
 			return nil, err
 		}
+		info := driver.NewTypesInfo()
 		conf := types.Config{Importer: l, Sizes: types.SizesFor("gc", runtime.GOARCH)}
-		pkg, err := conf.Check(path, l.fset, files, nil)
+		pkg, err := conf.Check(path, l.fset, files, info)
 		if err != nil {
 			return nil, fmt.Errorf("typecheck fixture dependency %s: %v", path, err)
+		}
+		// The dependency's facts must exist before the dependent package
+		// is analyzed — same bottom-up order as the real loader.
+		unit := &driver.Unit{ImportPath: path, Fset: l.fset, Files: files, Pkg: pkg, Info: info}
+		if err := driver.ComputeFacts(unit, l.facts); err != nil {
+			return nil, fmt.Errorf("computing facts for fixture dependency %s: %v", path, err)
 		}
 		l.typed[path] = pkg
 		return pkg, nil

@@ -1,0 +1,391 @@
+// Package closeowner checks the ownership side of snapshot and ref
+// handles: once a handle's release is handed to a new owner, the
+// original holder must neither close it again nor keep using it.
+//
+// The engine's query entry points transfer ownership by passing the
+// bound release method into the operator tree — `exec.OnClose(op,
+// s.Close)` or `exec.OnClose(view, ref.Release)` — after which the
+// tree closes the handle exactly once, at end-of-stream or Close.
+// From that point the acquiring function holds a dangling handle: a
+// second Close double-releases a refcount, and any further use races
+// the consumer that now drives the handle's lifetime.
+//
+// For every local variable bound to an acquisition (the snapclose
+// method list — Snapshot, Retain, Queries, and friends), the analyzer
+// simulates the body in source order and reports:
+//
+//   - a Close/Release call after the bound release method was handed
+//     to a call or returned (double close);
+//   - any other use of the handle after the hand-off (use after
+//     transfer);
+//   - handing the release off twice, or after an explicit close;
+//   - handing the release off when a deferred close already releases
+//     the handle at function exit.
+//
+// Branches are tracked separately and merged: a hand-off or close on a
+// path that returns does not poison the fall-through path (the
+// ubiquitous `if err != nil { s.Close(); return err }` guard stays
+// silent). The idiomatic pairing of one deferred close with an
+// explicit close on some path is allowed — Close is documented
+// idempotent — but a transfer never tolerates either.
+package closeowner
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"patchindex/internal/analysis/driver"
+	"patchindex/internal/analysis/lintutil"
+)
+
+var Analyzer = &driver.Analyzer{
+	Name: "closeowner",
+	Doc:  "check that a handle is not closed or used after its release is handed to a new owner",
+	Run:  run,
+}
+
+func run(pass *driver.Pass) (interface{}, error) {
+	lintutil.Funcs(pass.Files, func(decl *ast.FuncDecl, body *ast.BlockStmt) {
+		for _, v := range acquiredVars(pass, body) {
+			tr := &tracker{pass: pass, v: v}
+			tr.walkStmts(body.List, &state{})
+		}
+	})
+	return nil, nil
+}
+
+// acquiredVars finds the local variables this body binds to
+// acquisition results, in source order.
+func acquiredVars(pass *driver.Pass, body *ast.BlockStmt) []*types.Var {
+	var out []*types.Var
+	seen := make(map[*types.Var]bool)
+	note := func(id *ast.Ident) {
+		if id == nil || id.Name == "_" {
+			return
+		}
+		v, ok := pass.TypesInfo.Defs[id].(*types.Var)
+		if !ok {
+			v, ok = pass.TypesInfo.Uses[id].(*types.Var)
+		}
+		if ok && v != nil && !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return n.Body == body // nested literals are audited on their own
+		case *ast.AssignStmt:
+			if len(n.Rhs) != 1 {
+				return true
+			}
+			if call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr); ok && lintutil.IsAcquisition(pass.TypesInfo, call) {
+				id, _ := ast.Unparen(n.Lhs[0]).(*ast.Ident)
+				note(id)
+			}
+		case *ast.ValueSpec:
+			if len(n.Values) != 1 || len(n.Names) == 0 {
+				return true
+			}
+			if call, ok := ast.Unparen(n.Values[0]).(*ast.CallExpr); ok && lintutil.IsAcquisition(pass.TypesInfo, call) {
+				note(n.Names[0])
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// state is the per-path ownership state of one tracked handle.
+type state struct {
+	closed      token.Pos // first explicit close on this path
+	transferred token.Pos // release handed to a new owner
+	transferVia string    // the receiving call, e.g. "exec.OnClose"
+	deferClosed token.Pos // a deferred close releases at function exit
+	dead        bool      // variable re-bound; tracking stops
+}
+
+func (st *state) clone() *state { c := *st; return &c }
+
+// merge folds another non-terminated path into this one. Transfers and
+// deferred closes on any path poison the merge (either could have
+// happened when execution continues); an explicit close survives only
+// when every path closed (the close-then-return error guard must not
+// mark the success path closed).
+func (st *state) merge(o *state) {
+	if !st.transferred.IsValid() && o.transferred.IsValid() {
+		st.transferred, st.transferVia = o.transferred, o.transferVia
+	}
+	if !st.deferClosed.IsValid() && o.deferClosed.IsValid() {
+		st.deferClosed = o.deferClosed
+	}
+	if !o.closed.IsValid() {
+		st.closed = token.NoPos
+	}
+	st.dead = st.dead || o.dead
+}
+
+type tracker struct {
+	pass *driver.Pass
+	v    *types.Var
+}
+
+func (tr *tracker) walkStmts(stmts []ast.Stmt, st *state) (terminated bool) {
+	for _, s := range stmts {
+		if tr.walkStmt(s, st) {
+			return true
+		}
+	}
+	return false
+}
+
+func (tr *tracker) walkStmt(s ast.Stmt, st *state) (terminated bool) {
+	if st.dead {
+		return false
+	}
+	switch s := s.(type) {
+	case nil:
+	case *ast.ExprStmt:
+		tr.scan(s.X, st, false)
+	case *ast.DeferStmt:
+		tr.scan(s.Call, st, true)
+	case *ast.GoStmt:
+		tr.scan(s.Call, st, false)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			tr.scan(e, st, false)
+		}
+		return true
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			tr.scan(e, st, false)
+		}
+		for _, l := range s.Lhs {
+			if id, ok := ast.Unparen(l).(*ast.Ident); ok {
+				if tr.pass.TypesInfo.Uses[id] == tr.v {
+					st.dead = true // re-bound: a different handle from here on
+				}
+				continue
+			}
+			tr.scan(l, st, false)
+		}
+	case *ast.IfStmt:
+		tr.walkStmt(s.Init, st)
+		tr.scan(s.Cond, st, false)
+		bodySt := st.clone()
+		bt := tr.walkStmts(s.Body.List, bodySt)
+		elseSt := st.clone()
+		et := false
+		switch e := s.Else.(type) {
+		case *ast.BlockStmt:
+			et = tr.walkStmts(e.List, elseSt)
+		case *ast.IfStmt:
+			et = tr.walkStmt(e, elseSt)
+		}
+		switch {
+		case bt && et:
+			return true
+		case bt:
+			*st = *elseSt
+		case et:
+			*st = *bodySt
+		default:
+			*st = *bodySt
+			st.merge(elseSt)
+		}
+	case *ast.ForStmt:
+		tr.walkStmt(s.Init, st)
+		tr.scan(s.Cond, st, false)
+		tr.walkStmts(s.Body.List, st)
+	case *ast.RangeStmt:
+		tr.scan(s.X, st, false)
+		tr.walkStmts(s.Body.List, st)
+	case *ast.BlockStmt:
+		return tr.walkStmts(s.List, st)
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		var bodies [][]ast.Stmt
+		switch sw := s.(type) {
+		case *ast.SwitchStmt:
+			tr.walkStmt(sw.Init, st)
+			tr.scan(sw.Tag, st, false)
+			for _, c := range sw.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					bodies = append(bodies, cc.Body)
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			tr.walkStmt(sw.Init, st)
+			for _, c := range sw.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					bodies = append(bodies, cc.Body)
+				}
+			}
+		case *ast.SelectStmt:
+			for _, c := range sw.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					if cc.Comm != nil {
+						bodies = append(bodies, append([]ast.Stmt{cc.Comm}, cc.Body...))
+					} else {
+						bodies = append(bodies, cc.Body)
+					}
+				}
+			}
+		}
+		pre := st.clone()
+		for _, b := range bodies {
+			cs := pre.clone()
+			if !tr.walkStmts(b, cs) {
+				st.merge(cs)
+			}
+		}
+	case *ast.LabeledStmt:
+		return tr.walkStmt(s.Stmt, st)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						tr.scan(v, st, false)
+					}
+				}
+			}
+		}
+	case *ast.SendStmt:
+		tr.scan(s.Chan, st, false)
+		tr.scan(s.Value, st, false)
+	case *ast.IncDecStmt:
+		tr.scan(s.X, st, false)
+	}
+	return false
+}
+
+// scan visits every use of the tracked variable inside one expression,
+// classifying each as a close call, a release hand-off, or a plain
+// use. Function literals are not entered: a captured handle's
+// lifetime belongs to the closure's own audit.
+func (tr *tracker) scan(e ast.Node, st *state, deferred bool) {
+	if e == nil || st.dead {
+		return
+	}
+	var stack []ast.Node
+	ast.Inspect(e, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || tr.pass.TypesInfo.Uses[id] != tr.v {
+			return true
+		}
+		tr.use(id, stack, st, deferred)
+		return true
+	})
+}
+
+// use classifies one appearance of the handle.
+func (tr *tracker) use(id *ast.Ident, stack []ast.Node, st *state, deferred bool) {
+	name := tr.v.Name()
+	// Find the selector directly above the ident, skipping parens.
+	i := len(stack) - 2
+	for i >= 0 {
+		if _, ok := stack[i].(*ast.ParenExpr); ok {
+			i--
+			continue
+		}
+		break
+	}
+	if i >= 0 {
+		if sel, ok := stack[i].(*ast.SelectorExpr); ok && sel.X != nil && ast.Unparen(sel.X) == ast.Node(id) && lintutil.CloseMethods[sel.Sel.Name] {
+			// s.Close — the call form is a close, the bound value a hand-off.
+			if i > 0 {
+				if call, ok := stack[i-1].(*ast.CallExpr); ok && ast.Unparen(call.Fun) == ast.Node(sel) {
+					tr.close(st, call.Pos(), deferred, name)
+					return
+				}
+			}
+			if via, ok := handOffTarget(stack[:i]); ok {
+				tr.transfer(st, sel.Pos(), via, name)
+			} else {
+				// Bound value stored somewhere we cannot follow: stop
+				// tracking rather than guess.
+				st.dead = true
+			}
+			return
+		}
+	}
+	if st.transferred.IsValid() {
+		tr.pass.Reportf(id.Pos(), "%s used after its release was handed to %s at %s; the new owner drives its lifetime now",
+			name, st.transferVia, tr.pass.Fset.Position(st.transferred))
+	}
+}
+
+// handOffTarget reports where a bound release method goes: the call it
+// is an argument of ("exec.OnClose"), or "the caller" when returned.
+func handOffTarget(stack []ast.Node) (string, bool) {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.ParenExpr:
+			continue
+		case *ast.CallExpr:
+			return types.ExprString(p.Fun), true
+		case *ast.ReturnStmt:
+			return "the caller", true
+		case *ast.CompositeLit, *ast.KeyValueExpr:
+			continue // a struct of callbacks handed along; keep looking up
+		default:
+			return "", false
+		}
+	}
+	return "", false
+}
+
+func (tr *tracker) close(st *state, pos token.Pos, deferred bool, name string) {
+	if st.transferred.IsValid() {
+		kind := "close"
+		if deferred {
+			kind = "deferred close"
+		}
+		tr.pass.Reportf(pos, "%s of %s after its release was handed to %s at %s; the new owner closes it",
+			kind, name, st.transferVia, tr.pass.Fset.Position(st.transferred))
+		return
+	}
+	if deferred {
+		if !st.deferClosed.IsValid() {
+			st.deferClosed = pos
+		}
+		return
+	}
+	// One deferred close plus an explicit close on some path is the
+	// idiomatic safety net (Close is idempotent); two explicit closes
+	// on one path are a plain double close.
+	if st.closed.IsValid() {
+		tr.pass.Reportf(pos, "%s closed twice (first closed at %s)", name, tr.pass.Fset.Position(st.closed))
+	}
+	if !st.closed.IsValid() {
+		st.closed = pos
+	}
+}
+
+func (tr *tracker) transfer(st *state, pos token.Pos, via, name string) {
+	switch {
+	case st.transferred.IsValid():
+		tr.pass.Reportf(pos, "release of %s handed to %s, but it was already handed to %s at %s",
+			name, via, st.transferVia, tr.pass.Fset.Position(st.transferred))
+	case st.closed.IsValid():
+		tr.pass.Reportf(pos, "release of %s handed to %s after %s was already closed at %s",
+			name, via, name, tr.pass.Fset.Position(st.closed))
+	}
+	if st.deferClosed.IsValid() {
+		tr.pass.Reportf(pos, "release of %s handed to %s, but a deferred close at %s also releases it at function exit",
+			name, via, tr.pass.Fset.Position(st.deferClosed))
+	}
+	if !st.transferred.IsValid() {
+		st.transferred, st.transferVia = pos, via
+	}
+}

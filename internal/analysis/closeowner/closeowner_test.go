@@ -1,0 +1,12 @@
+package closeowner_test
+
+import (
+	"testing"
+
+	"patchindex/internal/analysis/analysistest"
+	"patchindex/internal/analysis/closeowner"
+)
+
+func TestCloseOwner(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), closeowner.Analyzer, "closeowner")
+}

@@ -50,6 +50,12 @@ type Pass struct {
 	// Report records one diagnostic. The drivers install a sink that
 	// applies //pilint:ignore suppressions before surfacing it.
 	Report func(Diagnostic)
+
+	// Facts resolves a per-package fact by kind name and import path
+	// (the pass's own package included — its facts are computed before
+	// the analyzers run). Returns nil when the package has no such
+	// fact. Never nil itself; without a store it resolves nothing.
+	Facts func(kind, path string) interface{}
 }
 
 // Reportf reports a formatted diagnostic at pos.
@@ -100,9 +106,10 @@ func NewTypesInfo() *types.Info {
 
 // RunAnalyzers applies the analyzers to one loaded unit, filters the
 // diagnostics through the unit's //pilint:ignore comments, and returns
-// the surviving findings (malformed or unknown suppressions included,
-// reported under the pseudo-analyzer name "pilint").
-func RunAnalyzers(u *Unit, analyzers []*Analyzer) ([]Finding, error) {
+// the surviving findings (malformed, unknown, or stale suppressions
+// included, reported under the pseudo-analyzer name "pilint"). facts
+// may be nil when no analyzer in the set consumes facts.
+func RunAnalyzers(u *Unit, analyzers []*Analyzer, facts *FactStore) ([]Finding, error) {
 	sup := collectSuppressions(u.Fset, u.Files)
 
 	var findings []Finding
@@ -113,6 +120,7 @@ func RunAnalyzers(u *Unit, analyzers []*Analyzer) ([]Finding, error) {
 			Files:     u.Files,
 			Pkg:       u.Pkg,
 			TypesInfo: u.Info,
+			Facts:     facts.Lookup,
 		}
 		name := a.Name
 		pass.Report = func(d Diagnostic) {

@@ -39,6 +39,10 @@ type Loader struct {
 	Tests bool // include _test.go files (test-variant packages)
 	Dir   string
 
+	// Facts accumulates the per-package facts of every source package
+	// the load touches, computed in dependency order during Load.
+	Facts *FactStore
+
 	pkgs    map[string]*listPackage    // ImportPath (bracketed for variants) -> metadata
 	typed   map[string]*types.Package  // ImportPath -> typechecked package
 	gcimp   types.Importer             // export-data importer, shared Fset
@@ -52,6 +56,7 @@ func NewLoader(dir string, tests bool) *Loader {
 		Fset:    token.NewFileSet(),
 		Tests:   tests,
 		Dir:     dir,
+		Facts:   NewFactStore(),
 		pkgs:    make(map[string]*listPackage),
 		typed:   make(map[string]*types.Package),
 		loading: make(map[string]bool),
@@ -112,22 +117,39 @@ func (l *Loader) Load(patterns ...string) ([]*Unit, error) {
 			variant[p.ForTest] = true
 		}
 	}
+	// Walk the list in its native order — `go list -deps` emits
+	// dependencies before dependents — typechecking each source package
+	// once: facts are computed for every non-standard package (the
+	// bottom-up pass the interprocedural analyzers rely on), and the
+	// pattern-matched subset additionally becomes the analysis units.
 	var units []*Unit
 	for _, p := range order {
-		if p.DepOnly || p.Standard || p.Name == "main" && strings.HasSuffix(p.ImportPath, ".test") {
-			continue
-		}
-		if p.Error != nil {
+		isUnit := !(p.DepOnly || p.Standard || p.Name == "main" && strings.HasSuffix(p.ImportPath, ".test")) &&
+			!variant[p.ImportPath]
+		if isUnit && p.Error != nil {
 			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
 		}
-		if variant[p.ImportPath] {
-			continue // its [pkg.test] variant is in the list
+		wantFacts := HaveFactKinds() && !p.Standard && p.Error == nil &&
+			p.Dir != "" && len(p.GoFiles) > 0 &&
+			!(p.Name == "main" && strings.HasSuffix(p.ImportPath, ".test"))
+		if !isUnit && !wantFacts {
+			continue
 		}
 		u, err := l.typecheckUnit(p)
 		if err != nil {
+			if !isUnit {
+				continue // a dep we only wanted facts from; best effort
+			}
 			return nil, err
 		}
-		units = append(units, u)
+		if wantFacts {
+			if err := ComputeFacts(u, l.Facts); err != nil {
+				return nil, err
+			}
+		}
+		if isUnit {
+			units = append(units, u)
+		}
 	}
 	return units, nil
 }

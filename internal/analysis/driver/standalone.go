@@ -1,6 +1,7 @@
 package driver
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -8,13 +9,37 @@ import (
 	"sort"
 )
 
+// A Suite bundles everything cmd/pilint runs: the per-package
+// analyzers, whole-program checks over the fact store, and the
+// optional -lockgraph renderer.
+type Suite struct {
+	Analyzers []*Analyzer
+
+	// Globals run once per standalone invocation, after every package
+	// has been analyzed and every fact computed. They see the whole
+	// program through the fact store — per-line suppressions do not
+	// apply to their findings. The vet-tool protocol analyzes one
+	// package per process, so globals run only in standalone mode.
+	Globals []*GlobalCheck
+
+	// Graph renders the -lockgraph DOT output from the fact store.
+	Graph func(*FactStore, io.Writer) error
+}
+
+// A GlobalCheck is one whole-program analysis over the fact store.
+type GlobalCheck struct {
+	Name string
+	Doc  string
+	Run  func(*FactStore) []Finding
+}
+
 // Main is the entry point shared by cmd/pilint: it dispatches between
 // the standalone mode (`pilint ./...`) and cmd/go's vet-tool protocol
 // (`go vet -vettool=$(which pilint) ./...`), which invokes the tool
 // with -V=full / -flags / a *.cfg argument per package.
 //
 // Standalone exit codes: 0 clean, 1 findings, 2 usage or load failure.
-func Main(analyzers ...*Analyzer) {
+func Main(suite Suite) {
 	args := os.Args[1:]
 	if len(args) == 1 && args[0] == "-V=full" {
 		printVersion()
@@ -25,16 +50,21 @@ func Main(analyzers ...*Analyzer) {
 		return
 	}
 	if n := len(args); n > 0 && isCfg(args[n-1]) {
-		unitcheckerMain(args[n-1], analyzers)
+		unitcheckerMain(args[n-1], suite.Analyzers)
 		return
 	}
 
 	fs := flag.NewFlagSet("pilint", flag.ExitOnError)
 	tests := fs.Bool("test", true, "analyze _test.go files too")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array (for CI annotation)")
+	graph := fs.Bool("lockgraph", false, "emit the acquired-while-holding lock graph as DOT on stdout (findings go to stderr)")
 	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: pilint [-test=false] package patterns...\n\nAnalyzers:\n")
-		for _, a := range analyzers {
+		fmt.Fprintf(os.Stderr, "usage: pilint [-test=false] [-json] [-lockgraph] package patterns...\n\nAnalyzers:\n")
+		for _, a := range suite.Analyzers {
 			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, firstLine(a.Doc))
+		}
+		for _, g := range suite.Globals {
+			fmt.Fprintf(os.Stderr, "  %-12s %s (whole-program)\n", g.Name, firstLine(g.Doc))
 		}
 		fmt.Fprintf(os.Stderr, "\nSuppress a finding with '//pilint:ignore <analyzer> <reason>'.\n")
 	}
@@ -45,37 +75,89 @@ func Main(analyzers ...*Analyzer) {
 		os.Exit(2)
 	}
 
-	findings, err := Check(os.Stdout, *tests, patterns, analyzers)
+	findings, facts, err := Check(*tests, patterns, suite)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pilint:", err)
 		os.Exit(2)
 	}
-	if findings > 0 {
+
+	// With -lockgraph the DOT document owns stdout; findings move to
+	// stderr so the graph stays pipeable into dot(1).
+	findingsOut := io.Writer(os.Stdout)
+	if *graph {
+		findingsOut = os.Stderr
+		if suite.Graph == nil {
+			fmt.Fprintln(os.Stderr, "pilint: no lock graph renderer registered")
+			os.Exit(2)
+		}
+		if err := suite.Graph(facts, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "pilint:", err)
+			os.Exit(2)
+		}
+	}
+	if err := printFindings(findingsOut, findings, *jsonOut); err != nil {
+		fmt.Fprintln(os.Stderr, "pilint:", err)
+		os.Exit(2)
+	}
+	if len(findings) > 0 {
 		os.Exit(1)
 	}
 }
 
-// Check loads the patterns, runs the analyzers, prints findings to w,
-// and returns how many there were.
-func Check(w io.Writer, tests bool, patterns []string, analyzers []*Analyzer) (int, error) {
+// printFindings writes the findings either as plain lines or as a JSON
+// array of {analyzer, file, line, col, message} objects.
+func printFindings(w io.Writer, findings []Finding, asJSON bool) error {
+	if !asJSON {
+		for _, f := range findings {
+			fmt.Fprintln(w, f)
+		}
+		return nil
+	}
+	type jsonFinding struct {
+		Analyzer string `json:"analyzer"`
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Message  string `json:"message"`
+	}
+	out := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		out = append(out, jsonFinding{
+			Analyzer: f.Analyzer,
+			File:     f.Posn.Filename,
+			Line:     f.Posn.Line,
+			Col:      f.Posn.Column,
+			Message:  f.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// Check loads the patterns, computes facts over the dependency graph,
+// runs the per-package analyzers and the whole-program checks, and
+// returns the deduplicated findings plus the fact store they were
+// derived from.
+func Check(tests bool, patterns []string, suite Suite) ([]Finding, *FactStore, error) {
 	l := NewLoader("", tests)
 	units, err := l.Load(patterns...)
 	if err != nil {
-		return 0, err
+		return nil, nil, err
 	}
 	var all []Finding
 	for _, u := range units {
-		fs, err := RunAnalyzers(u, analyzers)
+		fs, err := RunAnalyzers(u, suite.Analyzers, l.Facts)
 		if err != nil {
-			return 0, err
+			return nil, nil, err
 		}
 		all = append(all, fs...)
 	}
-	all = dedupe(all)
-	for _, f := range all {
-		fmt.Fprintln(w, f)
+	for _, g := range suite.Globals {
+		all = append(all, g.Run(l.Facts)...)
 	}
-	return len(all), nil
+	all = dedupe(all)
+	return all, l.Facts, nil
 }
 
 // dedupe drops findings reported at the same position with the same

@@ -25,6 +25,9 @@ var knownAnalyzers = map[string]bool{
 	"snapclose":   true,
 	"atomicmix":   true,
 	"deferunlock": true,
+	"lockblock":   true,
+	"rankdecl":    true,
+	"closeowner":  true,
 }
 
 type suppression struct {
@@ -69,6 +72,12 @@ func collectSuppressions(fset *token.FileSet, files []*ast.File) *suppressions {
 					continue
 				}
 				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				// An analysistest fixture may carry its expectation inside
+				// the same comment (`//pilint:ignore ... // want "..."`);
+				// the expectation is not part of the reason.
+				if i := strings.Index(rest, "// want "); i >= 0 {
+					rest = rest[:i]
+				}
 				posn := fset.Position(c.Pos())
 				sup := &suppression{posn: posn}
 				fields := strings.Fields(rest)
@@ -101,17 +110,21 @@ func (s *suppressions) suppressed(name string, posn token.Position) bool {
 	return hit
 }
 
-// problems reports malformed suppressions: a missing reason, or an
-// analyzer name outside the known suite. They surface as findings under
-// the pseudo-analyzer "pilint", so a typoed ignore fails the build
-// instead of silently suppressing nothing.
+// problems reports defective suppressions: a missing reason, an
+// analyzer name outside the known suite, or — when every analyzer the
+// comment names actually ran — an ignore that suppressed nothing
+// (stale). They surface as findings under the pseudo-analyzer
+// "pilint", so a typoed or left-behind ignore fails the build instead
+// of silently suppressing nothing.
 func (s *suppressions) problems(running []*Analyzer) []Finding {
 	valid := make(map[string]bool, len(knownAnalyzers)+len(running))
 	for n := range knownAnalyzers {
 		valid[n] = true
 	}
+	ran := make(map[string]bool, len(running))
 	for _, a := range running {
 		valid[a.Name] = true
+		ran[a.Name] = true
 	}
 	var out []Finding
 	for _, sups := range s.byLine {
@@ -121,15 +134,30 @@ func (s *suppressions) problems(running []*Analyzer) []Finding {
 					Message: "pilint:ignore needs an analyzer name and a reason"})
 				continue
 			}
+			malformed := false
 			for _, n := range sup.names {
 				if !valid[n] {
 					out = append(out, Finding{Analyzer: "pilint", Posn: sup.posn,
 						Message: "pilint:ignore names unknown analyzer " + quote(n)})
+					malformed = true
 				}
 			}
 			if sup.reason == "" {
 				out = append(out, Finding{Analyzer: "pilint", Posn: sup.posn,
 					Message: "pilint:ignore needs a reason after the analyzer name"})
+				malformed = true
+			}
+			// Stale check: only decidable when every named analyzer was in
+			// this run (analysistest runs them one at a time).
+			allRan := true
+			for _, n := range sup.names {
+				if !ran[n] {
+					allRan = false
+				}
+			}
+			if !malformed && !sup.used && allRan {
+				out = append(out, Finding{Analyzer: "pilint", Posn: sup.posn,
+					Message: "pilint:ignore suppresses no diagnostic; remove the stale comment"})
 			}
 		}
 	}

@@ -13,11 +13,13 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 )
 
 // vetConfig mirrors the JSON configuration cmd/go writes for vet tools
 // (the unitchecker protocol): one file per package, naming the sources
-// to analyze and the export data of every dependency.
+// to analyze, the export data of every dependency, and — since facts
+// landed — the vetx fact files the dependencies' vet runs produced.
 type vetConfig struct {
 	ID                        string
 	Compiler                  string
@@ -27,6 +29,7 @@ type vetConfig struct {
 	GoFiles                   []string
 	ImportMap                 map[string]string
 	PackageFile               map[string]string
+	PackageVetx               map[string]string
 	Standard                  map[string]bool
 	VetxOnly                  bool
 	VetxOutput                string
@@ -55,16 +58,67 @@ func printVersion() {
 // unitcheckerMain analyzes the single package described by a cfg file,
 // in the manner of golang.org/x/tools/go/analysis/unitchecker. Exit
 // codes: 0 clean, 1 internal/typecheck error, 3 diagnostics reported.
+//
+// Facts ride the protocol's vetx files: the store is seeded from the
+// dependencies' files (each of which carries its transitive closure),
+// this package's facts are computed on top, and the merged store is
+// written to VetxOutput for dependents. cmd/go schedules VetxOnly runs
+// over the whole dependency graph, so by the time a package is actually
+// analyzed every summary it can reach exists.
 func unitcheckerMain(cfgFile string, analyzers []*Analyzer) {
 	cfg, err := readVetConfig(cfgFile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pilint:", err)
 		os.Exit(1)
 	}
-	// The go command expects the facts file regardless of findings; the
-	// suite exchanges no facts, so it is always empty.
+
+	// Standard-library packages contribute no lock facts: their
+	// internals stand outside the engine's lock order, and summarizing
+	// them (the go command schedules VetxOnly runs over the entire
+	// dependency graph, runtime included) floods every summary that
+	// calls into them until the truncation cap starts losing release
+	// events. With no facts, calls into the standard library are simply
+	// opaque — exactly the standalone driver's behavior.
+	std := stdlibUnit(cfg)
+
+	store := NewFactStore()
+	if HaveFactKinds() && !std {
+		for _, file := range cfg.PackageVetx {
+			data, err := os.ReadFile(file)
+			if err != nil {
+				continue // dependency produced no facts
+			}
+			if err := store.Merge(data); err != nil {
+				fmt.Fprintf(os.Stderr, "pilint: reading facts %s: %v\n", file, err)
+				os.Exit(1)
+			}
+		}
+	}
+
+	// Typecheck and compute this package's facts. During a VetxOnly run
+	// the typecheck is best-effort — a dependency that cannot be checked
+	// from source (odd build-tag or cgo shapes in the standard library)
+	// just contributes no facts.
+	var unit *Unit
+	var typeErr error
+	if HaveFactKinds() && !std && len(cfg.GoFiles) > 0 {
+		unit, typeErr = typecheckVetUnit(cfg)
+		if typeErr == nil {
+			if err := ComputeFacts(unit, store); err != nil {
+				fmt.Fprintln(os.Stderr, "pilint:", err)
+				os.Exit(1)
+			}
+		}
+	}
+
+	// The go command expects the facts file regardless of findings.
 	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+		data, err := store.Encode()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pilint:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(cfg.VetxOutput, data, 0o666); err != nil {
 			fmt.Fprintln(os.Stderr, "pilint:", err)
 			os.Exit(1)
 		}
@@ -73,15 +127,17 @@ func unitcheckerMain(cfgFile string, analyzers []*Analyzer) {
 		return
 	}
 
-	unit, err := typecheckVetUnit(cfg)
-	if err != nil {
+	if unit == nil && typeErr == nil {
+		unit, typeErr = typecheckVetUnit(cfg)
+	}
+	if typeErr != nil {
 		if cfg.SucceedOnTypecheckFailure {
 			return
 		}
-		fmt.Fprintln(os.Stderr, "pilint:", err)
+		fmt.Fprintln(os.Stderr, "pilint:", typeErr)
 		os.Exit(1)
 	}
-	findings, err := RunAnalyzers(unit, analyzers)
+	findings, err := RunAnalyzers(unit, analyzers, store)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pilint:", err)
 		os.Exit(1)
@@ -92,6 +148,25 @@ func unitcheckerMain(cfgFile string, analyzers []*Analyzer) {
 	if len(findings) > 0 {
 		os.Exit(3)
 	}
+}
+
+// stdlibUnit reports whether the package a vet config describes is
+// part of the standard library: declared so by the config, or housed
+// under GOROOT/src (belt and braces — the Standard map's coverage of
+// the unit's own path is not contractual).
+func stdlibUnit(cfg *vetConfig) bool {
+	if cfg.Standard[cfg.ImportPath] {
+		return true
+	}
+	if len(cfg.GoFiles) == 0 {
+		return false
+	}
+	root := runtime.GOROOT()
+	if root == "" {
+		return false
+	}
+	rel, err := filepath.Rel(filepath.Join(root, "src"), cfg.GoFiles[0])
+	return err == nil && rel != ".." && !strings.HasPrefix(rel, ".."+string(filepath.Separator))
 }
 
 func readVetConfig(path string) (*vetConfig, error) {

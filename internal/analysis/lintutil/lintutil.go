@@ -113,6 +113,62 @@ func Funcs(files []*ast.File, fn func(decl *ast.FuncDecl, body *ast.BlockStmt)) 
 	}
 }
 
+// AcqMethods names the resource constructors across the engine,
+// storage, and tpch packages, shared by the snapclose and closeowner
+// analyzers. A call only counts when its first result is closeable
+// (see IsAcquisition), so a same-named method elsewhere that returns
+// plain data is ignored.
+var AcqMethods = map[string]bool{
+	"Snapshot":         true,
+	"MustSnapshot":     true,
+	"SnapshotAll":      true,
+	"SnapshotTable":    true,
+	"snapshotColumn":   true,
+	"ScanAll":          true,
+	"ScanPartition":    true,
+	"Distinct":         true,
+	"SortQuery":        true,
+	"Retain":           true,
+	"RetainPartitions": true,
+	"Queries":          true,
+	"QueriesAt":        true,
+}
+
+// CloseMethods names the release entry points of acquired handles.
+var CloseMethods = map[string]bool{"Close": true, "Release": true}
+
+// IsAcquisition reports whether call invokes a listed method whose
+// first result is closeable.
+func IsAcquisition(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !AcqMethods[sel.Sel.Name] {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	return Closeable(sig.Results().At(0).Type())
+}
+
+// Closeable reports whether t has a no-argument Close or Release
+// method.
+func Closeable(t types.Type) bool {
+	for name := range CloseMethods {
+		obj, _, _ := types.LookupFieldOrMethod(t, true, nil, name)
+		if m, ok := obj.(*types.Func); ok {
+			if sig, ok := m.Type().(*types.Signature); ok && sig.Params().Len() == 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // IsBuiltinCall reports whether a call invokes a builtin (len, cap,
 // append, ...) or a type conversion — calls that cannot panic in a way
 // a deferred unlock must guard, or that are not calls at all.

@@ -1,0 +1,140 @@
+// Package lockblock checks that no rank-marked lock is held across a
+// potentially-blocking operation.
+//
+// The engine's ranked mutexes (see lockorder) guard in-memory
+// structures and are meant to be held for microseconds; sleeping,
+// waiting on a channel or WaitGroup, or performing file or network I/O
+// while one is held turns every reader of that structure into a
+// co-waiter. The analyzer simulates each function body with the set of
+// numerically-ranked locks held and reports any blocking operation —
+// channel send/receive, range over a channel, select without a default
+// clause, time.Sleep, WaitGroup/Cond waits, and os/net/io calls that
+// reach the kernel — that executes while the set is non-empty.
+//
+// Like lockorder, the simulation is interprocedural via the locksum
+// facts: a call whose flattened summary blocks is reported at the call
+// site, naming the function and position that actually blocks; a call
+// whose summary acquires a ranked lock extends the held set for the
+// statements that follow. Locks explicitly marked `lock-rank: none`
+// are exempt — the marker is the author's statement that the lock is a
+// leaf with its own rules.
+package lockblock
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"patchindex/internal/analysis/driver"
+	"patchindex/internal/analysis/lintutil"
+	"patchindex/internal/analysis/locksum"
+)
+
+var Analyzer = &driver.Analyzer{
+	Name: "lockblock",
+	Doc:  "check that no rank-marked lock is held across a blocking operation",
+	Run:  run,
+}
+
+func run(pass *driver.Pass) (interface{}, error) {
+	mutexes, _ := locksum.Mutexes(pass)
+	resolve := func(fn *types.Func) *locksum.FuncSummary {
+		pf := locksum.Of(pass, fn.Pkg().Path())
+		if pf == nil {
+			return nil
+		}
+		return pf.Funcs[fn.FullName()]
+	}
+	lintutil.Funcs(pass.Files, func(decl *ast.FuncDecl, body *ast.BlockStmt) {
+		ck := &checker{pass: pass, reported: make(map[string]bool)}
+		w := &locksum.Walker{Pass: pass, Mutexes: mutexes, Resolve: resolve, H: ck}
+		if decl != nil {
+			w.RecvObj = locksum.RecvVar(pass, decl)
+		}
+		w.WalkBody(body.List)
+	})
+	return nil, nil
+}
+
+// held is one ranked lock currently held. acqPos/acqFromCall remember
+// where the acquisition came from so blocked() can tell a lock the
+// current function holds apart from one acquired inside the very call
+// being replayed.
+type held struct {
+	mutex       string
+	rank        int
+	inst        string
+	multi       bool
+	slice       bool
+	idx         int
+	c           int64
+	expr        string
+	acqPos      token.Pos
+	acqFromCall bool
+}
+
+type checker struct {
+	pass     *driver.Pass
+	locks    []held
+	reported map[string]bool // one report per (position, op, lock)
+}
+
+func (ck *checker) Event(ev locksum.Event, ctx locksum.Ctx) {
+	switch ev.Kind {
+	case locksum.Block:
+		ck.blocked(ev, ctx)
+	case locksum.Acquire:
+		if ev.Rank >= 0 {
+			ck.locks = append(ck.locks, held{
+				mutex: ev.Mutex, rank: ev.Rank, inst: ctx.Inst, multi: ctx.Multi,
+				slice: ev.Slice, idx: ev.Idx, c: ev.Index, expr: ev.Expr,
+				acqPos: ctx.Pos, acqFromCall: ctx.FromCall,
+			})
+		}
+	case locksum.Release:
+		if ev.Rank >= 0 && !ctx.Deferred {
+			ck.release(ev, ctx)
+		}
+	}
+}
+
+func (ck *checker) release(ev locksum.Event, ctx locksum.Ctx) {
+	out := ck.locks[:0]
+	for _, h := range ck.locks {
+		if h.mutex == ev.Mutex && (h.inst == ctx.Inst || h.multi || ctx.Multi) {
+			if ev.Slice && ev.Idx == locksum.IdxConst {
+				if h.idx == locksum.IdxConst && h.c != ev.Index {
+					out = append(out, h)
+				}
+				continue
+			}
+			continue // released
+		}
+		out = append(out, h)
+	}
+	ck.locks = out
+}
+
+func (ck *checker) blocked(ev locksum.Event, ctx locksum.Ctx) {
+	for _, h := range ck.locks {
+		// A lock acquired by the same replayed call that now blocks is
+		// the callee's own acquire+block pair; the callee's direct walk
+		// reports it once at the defining site, not at every caller.
+		if ctx.FromCall && h.acqFromCall && h.acqPos == ctx.Pos {
+			continue
+		}
+		key := fmt.Sprintf("%d|%s|%s", ctx.Pos, ev.Op, h.mutex)
+		if ck.reported[key] {
+			continue
+		}
+		ck.reported[key] = true
+		if ctx.FromCall {
+			ck.pass.Reportf(ctx.Pos, "call blocks (%s in %s at %s) while holding %s (lock-rank %d); rank-marked locks must not be held across blocking operations",
+				ev.Op, ev.Via, ev.Posn, h.expr, h.rank)
+		} else {
+			ck.pass.Reportf(ctx.Pos, "%s while holding %s (lock-rank %d); rank-marked locks must not be held across blocking operations",
+				ev.Op, h.expr, h.rank)
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package lockblock_test
+
+import (
+	"testing"
+
+	"patchindex/internal/analysis/analysistest"
+	"patchindex/internal/analysis/lockblock"
+)
+
+func TestLockBlock(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), lockblock.Analyzer, "lockblock")
+}

@@ -10,14 +10,16 @@
 // increase, sweep loops must iterate ascending, and nothing may be
 // re-acquired after a full ascending sweep.
 //
-// The simulation is intraprocedural plus a one-level call-graph
-// summary: direct lock/unlock events of every same-package function are
-// recorded, and calls to those functions replay their events against
-// the caller's lock set. This is what makes the lockPartition /
-// unlockPartition / lockAllPartitions helper convention visible to the
-// checker. Calls into other packages, and calls nested more than one
-// level deep, are invisible — the documented rank gaps between
-// packages exist so each package's order can be checked locally.
+// The simulation is interprocedural: every call to a statically
+// resolved function replays that function's flattened locksum summary
+// — the full transitive lock behavior of the callee and everything it
+// calls, across package boundaries (see package locksum for how the
+// summaries are computed bottom-up over the package DAG and serialized
+// between packages). An engine method that calls into storage which
+// locks a bitmap-layer mutex is checked against the engine caller's
+// lock set directly. Diagnostics for replayed events point at the call
+// site and name the function and position actually performing the
+// acquisition.
 //
 // Approximations, chosen to stay quiet rather than clever: branches
 // are walked in source order against a single lock set, loop bodies
@@ -28,15 +30,14 @@
 package lockorder
 
 import (
+	"fmt"
 	"go/ast"
-	"go/constant"
 	"go/token"
 	"go/types"
-	"regexp"
-	"strconv"
 
 	"patchindex/internal/analysis/driver"
 	"patchindex/internal/analysis/lintutil"
+	"patchindex/internal/analysis/locksum"
 )
 
 var Analyzer = &driver.Analyzer{
@@ -45,597 +46,129 @@ var Analyzer = &driver.Analyzer{
 	Run:  run,
 }
 
-var markerRE = regexp.MustCompile(`lock-rank:\s*(\d+)`)
-
-type rankInfo struct {
-	rank  int
-	slice bool // []sync.Mutex — per-index locks with the ascending rule
-}
-
-// index kinds for slice-mutex acquisitions.
-type idxKind int
-
-const (
-	idxNone    idxKind = iota // not a slice mutex
-	idxConst                  // constant index, value in c
-	idxLoopAsc                // index is an ascending loop variable
-	idxLoopDesc               // index is a descending loop variable
-	idxUnknown                // anything else — not checked
-)
-
 // held is one entry of the simulated lock set.
 type held struct {
-	obj      *types.Var
+	mutex    string // canonical locksum ID
 	rank     int
 	slice    bool
 	read     bool
-	idx      idxKind
+	idx      int
 	c        int64
 	fromZero bool
-	inst     string // receiver path, e.g. "t.pmu" — instance identity
-	multi    bool   // receiver involves a loop variable (distinct per iteration)
+	inst     string // instance identity in this frame, e.g. "t.pmu"
+	multi    bool   // instance involves a loop variable (distinct per iteration)
 	expr     string // for diagnostics
 	pos      token.Pos
 }
 
-// event is one direct lock/unlock a function performs, recorded for
-// one-level replay at its call sites.
-type event struct {
-	acquire  bool
-	obj      *types.Var
-	rank     int
-	slice    bool
-	read     bool
-	idx      idxKind
-	c        int64
-	fromZero bool
-	recvPath string // path below the receiver ("pmu") when receiver-rooted
-	inst     string // full instance string when not receiver-rooted
-	expr     string
-}
-
-type summary struct {
-	events []event
-}
-
 func run(pass *driver.Pass) (interface{}, error) {
-	ranks := collectRanks(pass)
-	if len(ranks) == 0 {
-		return nil, nil
+	mutexes, bad := locksum.Mutexes(pass)
+	for _, b := range bad {
+		pass.Reportf(b.Pos, "%s", b.Message)
 	}
 
-	// Pass 1: summarize the direct lock events of every function.
-	sums := make(map[*types.Func]*summary)
-	for _, f := range pass.Files {
-		for _, d := range f.Decls {
-			fd, ok := d.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
-			if !ok {
-				continue
-			}
-			tr := newTracker(pass, ranks, nil)
-			tr.recvObj = recvVar(pass, fd)
-			tr.recording = true
-			tr.walkBody(fd.Body.List)
-			sums[fn] = &summary{events: append(tr.events, tr.deferred...)}
+	resolve := func(fn *types.Func) *locksum.FuncSummary {
+		pf := locksum.Of(pass, fn.Pkg().Path())
+		if pf == nil {
+			return nil
 		}
+		return pf.Funcs[fn.FullName()]
 	}
-
-	// Pass 2: simulate every function (and function literal) and check.
 	lintutil.Funcs(pass.Files, func(decl *ast.FuncDecl, body *ast.BlockStmt) {
-		tr := newTracker(pass, ranks, sums)
+		ck := &checker{pass: pass}
+		w := &locksum.Walker{Pass: pass, Mutexes: mutexes, Resolve: resolve, H: ck}
 		if decl != nil {
-			tr.recvObj = recvVar(pass, decl)
+			w.RecvObj = locksum.RecvVar(pass, decl)
 		}
-		tr.walkBody(body.List)
+		w.WalkBody(body.List)
 	})
 	return nil, nil
 }
 
-// collectRanks finds every struct field and package-level variable
-// carrying a lock-rank marker whose type is a sync mutex or a slice of
-// them.
-func collectRanks(pass *driver.Pass) map[*types.Var]rankInfo {
-	ranks := make(map[*types.Var]rankInfo)
-	note := func(names []*ast.Ident, groups ...*ast.CommentGroup) {
-		rank, ok := markerRank(groups...)
-		if !ok {
-			return
-		}
-		for _, name := range names {
-			obj, ok := pass.TypesInfo.Defs[name].(*types.Var)
-			if !ok {
-				continue
-			}
-			t := obj.Type()
-			slice := false
-			if s, isSlice := t.Underlying().(*types.Slice); isSlice {
-				t = s.Elem()
-				slice = true
-			}
-			if lintutil.MutexKind(t) == "" {
-				pass.Reportf(name.Pos(), "lock-rank marker on %s, which is not a sync mutex or mutex slice", name.Name)
-				continue
-			}
-			ranks[obj] = rankInfo{rank: rank, slice: slice}
-		}
-	}
-	for _, f := range pass.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			switch n := n.(type) {
-			case *ast.StructType:
-				for _, field := range n.Fields.List {
-					note(field.Names, field.Doc, field.Comment)
-				}
-			case *ast.GenDecl:
-				if n.Tok == token.VAR {
-					for _, spec := range n.Specs {
-						if vs, ok := spec.(*ast.ValueSpec); ok {
-							note(vs.Names, n.Doc, vs.Doc, vs.Comment)
-						}
-					}
-				}
-			case *ast.FuncDecl:
-				return false // var decls inside functions are local state
-			}
-			return true
-		})
-	}
-	return ranks
-}
-
-func markerRank(groups ...*ast.CommentGroup) (int, bool) {
-	for _, g := range groups {
-		if g == nil {
-			continue
-		}
-		if m := markerRE.FindStringSubmatch(g.Text()); m != nil {
-			n, err := strconv.Atoi(m[1])
-			if err == nil {
-				return n, true
-			}
-		}
-	}
-	return 0, false
-}
-
-func recvVar(pass *driver.Pass, fd *ast.FuncDecl) *types.Var {
-	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
-		return nil
-	}
-	obj, _ := pass.TypesInfo.Defs[fd.Recv.List[0].Names[0]].(*types.Var)
-	return obj
-}
-
-type loopDir int
-
-const (
-	loopAscending loopDir = iota
-	loopDescending
-)
-
-type loopVar struct {
-	dir      loopDir
-	fromZero bool
-}
-
-type tracker struct {
+// checker consumes the walker's event stream for one function,
+// maintaining the ranked-lock set and reporting order violations.
+type checker struct {
 	pass  *driver.Pass
-	ranks map[*types.Var]rankInfo
-	sums  map[*types.Func]*summary
-
-	recvObj  *types.Var
-	loopVars map[*types.Var]loopVar
-	locks    []held
-
-	// recording mode (pass 1): collect events instead of checking.
-	recording bool
-	events    []event
-	deferred  []event // releases deferred to function exit
+	locks []held
 }
 
-func newTracker(pass *driver.Pass, ranks map[*types.Var]rankInfo, sums map[*types.Func]*summary) *tracker {
-	return &tracker{pass: pass, ranks: ranks, sums: sums, loopVars: make(map[*types.Var]loopVar)}
-}
-
-func (tr *tracker) walkBody(stmts []ast.Stmt) {
-	for _, s := range stmts {
-		tr.walkStmt(s)
+func (ck *checker) Event(ev locksum.Event, ctx locksum.Ctx) {
+	if ev.Rank < 0 {
+		return // unranked and rank-none mutexes are not order-checked
+	}
+	switch ev.Kind {
+	case locksum.Acquire:
+		ck.acquire(ev, ctx)
+	case locksum.Release:
+		if ctx.Deferred {
+			return // deferred unlock: held until function exit
+		}
+		ck.release(ev, ctx)
 	}
 }
 
-func (tr *tracker) walkStmt(s ast.Stmt) {
-	switch s := s.(type) {
-	case nil:
-	case *ast.ExprStmt:
-		tr.scanExpr(s.X)
-	case *ast.DeferStmt:
-		tr.walkDefer(s.Call)
-	case *ast.GoStmt:
-		// Runs concurrently; its effects are not part of this lock set.
-		// The goroutine body itself is analyzed as its own function.
-	case *ast.AssignStmt:
-		for _, e := range s.Rhs {
-			tr.scanExpr(e)
-		}
-		for _, e := range s.Lhs {
-			tr.scanExpr(e)
-		}
-	case *ast.ReturnStmt:
-		for _, e := range s.Results {
-			tr.scanExpr(e)
-		}
-	case *ast.IfStmt:
-		tr.walkStmt(s.Init)
-		tr.scanExpr(s.Cond)
-		tr.walkBody(s.Body.List)
-		tr.walkStmt(s.Else)
-	case *ast.ForStmt:
-		tr.walkStmt(s.Init)
-		if s.Cond != nil {
-			tr.scanExpr(s.Cond)
-		}
-		obj, lv, ok := forLoopVar(tr.pass, s)
-		if ok {
-			tr.loopVars[obj] = lv
-		}
-		tr.walkBody(s.Body.List)
-		if ok {
-			delete(tr.loopVars, obj)
-		}
-	case *ast.RangeStmt:
-		tr.scanExpr(s.X)
-		obj, ok := rangeKeyVar(tr.pass, s)
-		if ok {
-			tr.loopVars[obj] = loopVar{dir: loopAscending, fromZero: true}
-		}
-		// The range value variable also identifies per-iteration state.
-		if vobj, vok := rangeValueVar(tr.pass, s); vok {
-			tr.loopVars[vobj] = loopVar{dir: loopAscending, fromZero: true}
-			defer delete(tr.loopVars, vobj)
-		}
-		tr.walkBody(s.Body.List)
-		if ok {
-			delete(tr.loopVars, obj)
-		}
-	case *ast.BlockStmt:
-		tr.walkBody(s.List)
-	case *ast.SwitchStmt:
-		tr.walkStmt(s.Init)
-		if s.Tag != nil {
-			tr.scanExpr(s.Tag)
-		}
-		for _, c := range s.Body.List {
-			if cc, ok := c.(*ast.CaseClause); ok {
-				tr.walkBody(cc.Body)
-			}
-		}
-	case *ast.TypeSwitchStmt:
-		tr.walkStmt(s.Init)
-		tr.walkStmt(s.Assign)
-		for _, c := range s.Body.List {
-			if cc, ok := c.(*ast.CaseClause); ok {
-				tr.walkBody(cc.Body)
-			}
-		}
-	case *ast.SelectStmt:
-		for _, c := range s.Body.List {
-			if cc, ok := c.(*ast.CommClause); ok {
-				tr.walkStmt(cc.Comm)
-				tr.walkBody(cc.Body)
-			}
-		}
-	case *ast.LabeledStmt:
-		tr.walkStmt(s.Stmt)
-	case *ast.DeclStmt:
-		if gd, ok := s.Decl.(*ast.GenDecl); ok {
-			for _, spec := range gd.Specs {
-				if vs, ok := spec.(*ast.ValueSpec); ok {
-					for _, v := range vs.Values {
-						tr.scanExpr(v)
-					}
-				}
-			}
-		}
-	case *ast.SendStmt:
-		tr.scanExpr(s.Chan)
-		tr.scanExpr(s.Value)
-	case *ast.IncDecStmt:
-		tr.scanExpr(s.X)
+// reportf reports at the event's position in this frame; events
+// replayed out of a callee summary name the function and position
+// actually performing the operation.
+func (ck *checker) reportf(ctx locksum.Ctx, ev locksum.Event, format string, args ...interface{}) {
+	msg := fmt.Sprintf(format, args...)
+	if ctx.FromCall {
+		msg += fmt.Sprintf(" (in %s at %s)", ev.Via, ev.Posn)
 	}
+	ck.pass.Reportf(ctx.Pos, "%s", msg)
 }
 
-// walkDefer handles `defer f()`. A deferred unlock keeps the lock in
-// the set until function exit (which is how the checker wants it for
-// ordering), so it is dropped here; in recording mode it is queued as
-// an exit-time release so callers see the lock come back. Anything
-// else deferred is ignored: it runs after the interesting acquisitions.
-func (tr *tracker) walkDefer(call *ast.CallExpr) {
-	if mutex, method, ok := lintutil.LockCall(tr.pass.TypesInfo, call); ok {
-		acquire, read, _ := lintutil.LockMethod(method)
-		if acquire {
-			tr.lockCall(call, mutex, true, read)
-			return
-		}
-		if tr.recording {
-			if ev, ok := tr.eventFor(mutex, false, read); ok {
-				tr.deferred = append(tr.deferred, ev)
-			}
-		}
-	}
-	// A deferred call to an unlock helper (defer t.unlockAllPartitions())
-	// keeps its locks held for ordering purposes until function exit, so
-	// nothing to simulate here; recording mode likewise treats the locks
-	// as held across the body, which is the summary callers should see.
-}
-
-// scanExpr visits calls inside an expression, innermost first, without
-// descending into function literals (those are analyzed separately).
-func (tr *tracker) scanExpr(e ast.Expr) {
-	if e == nil {
-		return
-	}
-	ast.Inspect(e, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.FuncLit:
-			return false
-		case *ast.CallExpr:
-			for _, a := range n.Args {
-				tr.scanExpr(a)
-			}
-			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
-				tr.scanExpr(sel.X)
-			}
-			tr.handleCall(n)
-			return false
-		}
-		return true
-	})
-}
-
-func (tr *tracker) handleCall(call *ast.CallExpr) {
-	if mutex, method, ok := lintutil.LockCall(tr.pass.TypesInfo, call); ok {
-		acquire, read, _ := lintutil.LockMethod(method)
-		tr.lockCall(call, mutex, acquire, read)
-		return
-	}
-	fn := tr.staticCallee(call)
-	if fn == nil {
-		return
-	}
-	if sum := tr.summaryOf(fn); sum != nil {
-		tr.replay(call, sum)
-	}
-}
-
-func (tr *tracker) staticCallee(call *ast.CallExpr) *types.Func {
-	var id *ast.Ident
-	switch fun := ast.Unparen(call.Fun).(type) {
-	case *ast.Ident:
-		id = fun
-	case *ast.SelectorExpr:
-		id = fun.Sel
-	default:
-		return nil
-	}
-	fn, _ := tr.pass.TypesInfo.Uses[id].(*types.Func)
-	if fn == nil || fn.Pkg() != tr.pass.Pkg {
-		return nil
-	}
-	return fn
-}
-
-func (tr *tracker) summaryOf(fn *types.Func) *summary {
-	if tr.sums == nil {
-		return nil
-	}
-	sum := tr.sums[fn]
-	if sum == nil || len(sum.events) == 0 {
-		return nil
-	}
-	return sum
-}
-
-// eventFor builds the replayable event for a direct lock call.
-func (tr *tracker) eventFor(mutex ast.Expr, acquire, read bool) (event, bool) {
-	obj, base := lintutil.FieldVar(tr.pass.TypesInfo, mutex)
-	if obj == nil {
-		return event{}, false
-	}
-	ri, ranked := tr.ranks[obj]
-	if !ranked {
-		return event{}, false
-	}
-	ev := event{
-		acquire: acquire,
-		obj:     obj,
-		rank:    ri.rank,
-		slice:   ri.slice,
-		read:    read,
-		expr:    types.ExprString(mutex),
-	}
-	if ri.slice {
-		ev.idx, ev.c, ev.fromZero = tr.classifyIndex(mutex)
-	}
-	inst := types.ExprString(base)
-	if path, rooted := tr.receiverPath(base); rooted {
-		ev.recvPath = path
-	} else {
-		ev.inst = inst
-	}
-	return ev, true
-}
-
-// receiverPath reports whether base is rooted at the function's
-// receiver ("t.pmu" for receiver t), returning the path below it.
-func (tr *tracker) receiverPath(base ast.Expr) (string, bool) {
-	if tr.recvObj == nil {
-		return "", false
-	}
-	root := base
-	var path string
-	for {
-		sel, ok := root.(*ast.SelectorExpr)
-		if !ok {
-			break
-		}
-		if path == "" {
-			path = sel.Sel.Name
-		} else {
-			path = sel.Sel.Name + "." + path
-		}
-		root = ast.Unparen(sel.X)
-	}
-	if id, ok := root.(*ast.Ident); ok && path != "" {
-		if tr.pass.TypesInfo.Uses[id] == tr.recvObj {
-			return path, true
-		}
-	}
-	return "", false
-}
-
-func (tr *tracker) classifyIndex(mutex ast.Expr) (idxKind, int64, bool) {
-	ix, ok := mutex.(*ast.IndexExpr)
-	if !ok {
-		return idxUnknown, 0, false
-	}
-	if tv, ok := tr.pass.TypesInfo.Types[ix.Index]; ok && tv.Value != nil {
-		if c, exact := intConst(tv); exact {
-			return idxConst, c, false
-		}
-	}
-	if id, ok := ast.Unparen(ix.Index).(*ast.Ident); ok {
-		if obj, ok := tr.pass.TypesInfo.Uses[id].(*types.Var); ok {
-			if lv, isLoop := tr.loopVars[obj]; isLoop {
-				if lv.dir == loopAscending {
-					return idxLoopAsc, 0, lv.fromZero
-				}
-				return idxLoopDesc, 0, false
-			}
-		}
-	}
-	return idxUnknown, 0, false
-}
-
-// lockCall processes a direct mutex method call.
-func (tr *tracker) lockCall(call *ast.CallExpr, mutex ast.Expr, acquire, read bool) {
-	ev, ok := tr.eventFor(mutex, acquire, read)
-	if !ok {
-		return
-	}
-	if tr.recording {
-		tr.events = append(tr.events, ev)
-		return
-	}
-	inst, multi := tr.instanceOf(ev, mutex)
-	if acquire {
-		tr.acquire(ev, inst, multi, call.Pos(), false)
-	} else {
-		tr.release(ev, inst, multi)
-	}
-}
-
-// instanceOf resolves an event's instance string in the current
-// function: receiver-rooted paths are already absolute here.
-func (tr *tracker) instanceOf(ev event, mutex ast.Expr) (string, bool) {
-	_, base := lintutil.FieldVar(tr.pass.TypesInfo, mutex)
-	return types.ExprString(base), tr.mentionsLoopVar(base)
-}
-
-func (tr *tracker) mentionsLoopVar(e ast.Expr) bool {
-	found := false
-	ast.Inspect(e, func(n ast.Node) bool {
-		if id, ok := n.(*ast.Ident); ok {
-			if obj, ok := tr.pass.TypesInfo.Uses[id].(*types.Var); ok {
-				if _, isLoop := tr.loopVars[obj]; isLoop {
-					found = true
-				}
-			}
-		}
-		return true
-	})
-	return found
-}
-
-// replay applies a callee's recorded events at a call site.
-func (tr *tracker) replay(call *ast.CallExpr, sum *summary) {
-	recvStr := ""
-	recvMulti := false
-	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
-		recvStr = types.ExprString(sel.X)
-		recvMulti = tr.mentionsLoopVar(sel.X)
-	}
-	for _, ev := range sum.events {
-		inst := ev.inst
-		multi := recvMulti
-		if ev.recvPath != "" {
-			if recvStr == "" {
-				continue // method value or unexpected shape; skip
-			}
-			inst = recvStr + "." + ev.recvPath
-		} else {
-			multi = false // package-level mutex: one instance
-		}
-		if ev.acquire {
-			tr.acquire(ev, inst, multi, call.Pos(), true)
-		} else {
-			tr.release(ev, inst, multi)
-		}
-	}
-}
-
-func (tr *tracker) acquire(ev event, inst string, multi bool, pos token.Pos, fromSummary bool) {
+func (ck *checker) acquire(ev locksum.Event, ctx locksum.Ctx) {
 	// A lock loop sweeping indexes downward is an ordering violation on
 	// its own; reported where the loop is written, not at call sites.
-	if !fromSummary && ev.slice && ev.idx == idxLoopDesc {
-		tr.pass.Reportf(pos, "%s locked in a descending loop; partition locks must be acquired in ascending index order", ev.expr)
+	if !ctx.FromCall && ev.Slice && ev.Idx == locksum.IdxLoopDesc {
+		ck.pass.Reportf(ctx.Pos, "%s locked in a descending loop; partition locks must be acquired in ascending index order", ev.Expr)
 	}
-	for i := range tr.locks {
-		h := &tr.locks[i]
-		if h.obj == ev.obj {
+	inst, multi := ctx.Inst, ctx.Multi
+	for i := range ck.locks {
+		h := &ck.locks[i]
+		if h.mutex == ev.Mutex {
 			sameInst := h.inst == inst && !h.multi && !multi
 			if !sameInst {
 				continue
 			}
-			if !ev.slice {
-				if !h.read || !ev.read {
-					tr.pass.Reportf(pos, "%s acquired while already held (acquired at %s)", ev.expr, tr.pass.Fset.Position(h.pos))
+			if !ev.Slice {
+				if !h.read || !ev.Read {
+					ck.reportf(ctx, ev, "%s acquired while already held (acquired at %s)", ev.Expr, ck.pass.Fset.Position(h.pos))
 				}
 				continue
 			}
 			switch {
-			case h.idx == idxConst && ev.idx == idxConst:
-				if ev.c <= h.c {
-					tr.pass.Reportf(pos, "%s[%d] acquired while holding %s[%d]; partition locks must be acquired in ascending index order", inst, ev.c, inst, h.c)
+			case h.idx == locksum.IdxConst && ev.Idx == locksum.IdxConst:
+				if ev.Index <= h.c {
+					ck.reportf(ctx, ev, "%s[%d] acquired while holding %s[%d]; partition locks must be acquired in ascending index order", inst, ev.Index, inst, h.c)
 				}
-			case h.idx == idxLoopAsc:
-				tr.pass.Reportf(pos, "%s acquired after an ascending sweep already locked every element of %s", ev.expr, inst)
-			case h.idx == idxConst && ev.idx == idxLoopAsc && ev.fromZero:
-				tr.pass.Reportf(pos, "ascending sweep of %s would re-acquire index %d, which is already held", inst, h.c)
+			case h.idx == locksum.IdxLoopAsc:
+				ck.reportf(ctx, ev, "%s acquired after an ascending sweep already locked every element of %s", ev.Expr, inst)
+			case h.idx == locksum.IdxConst && ev.Idx == locksum.IdxLoopAsc && ev.FromZero:
+				ck.reportf(ctx, ev, "ascending sweep of %s would re-acquire index %d, which is already held", inst, h.c)
 			}
 			continue
 		}
-		if h.rank > ev.rank {
-			tr.pass.Reportf(pos, "%s (lock-rank %d) acquired while holding %s (lock-rank %d); locks must be acquired in ascending lock-rank order", ev.expr, ev.rank, h.expr, h.rank)
+		if h.rank > ev.Rank {
+			ck.reportf(ctx, ev, "%s (lock-rank %d) acquired while holding %s (lock-rank %d); locks must be acquired in ascending lock-rank order", ev.Expr, ev.Rank, h.expr, h.rank)
 		}
 	}
-	tr.locks = append(tr.locks, held{
-		obj: ev.obj, rank: ev.rank, slice: ev.slice, read: ev.read,
-		idx: ev.idx, c: ev.c, fromZero: ev.fromZero,
-		inst: inst, multi: multi, expr: ev.expr, pos: pos,
+	ck.locks = append(ck.locks, held{
+		mutex: ev.Mutex, rank: ev.Rank, slice: ev.Slice, read: ev.Read,
+		idx: ev.Idx, c: ev.Index, fromZero: ev.FromZero,
+		inst: inst, multi: multi, expr: ev.Expr, pos: ctx.Pos,
 	})
 }
 
-func (tr *tracker) release(ev event, inst string, multi bool) {
-	out := tr.locks[:0]
-	for _, h := range tr.locks {
-		if h.obj == ev.obj && (h.inst == inst || h.multi || multi) {
-			if ev.slice && ev.idx == idxConst {
+func (ck *checker) release(ev locksum.Event, ctx locksum.Ctx) {
+	inst, multi := ctx.Inst, ctx.Multi
+	out := ck.locks[:0]
+	for _, h := range ck.locks {
+		if h.mutex == ev.Mutex && (h.inst == inst || h.multi || multi) {
+			if ev.Slice && ev.Idx == locksum.IdxConst {
 				// Releasing one constant index frees only that entry.
-				if h.idx == idxConst && h.c != ev.c {
+				if h.idx == locksum.IdxConst && h.c != ev.Index {
 					out = append(out, h)
 				}
 				continue
@@ -644,78 +177,5 @@ func (tr *tracker) release(ev event, inst string, multi bool) {
 		}
 		out = append(out, h)
 	}
-	tr.locks = out
-}
-
-func forLoopVar(pass *driver.Pass, s *ast.ForStmt) (*types.Var, loopVar, bool) {
-	assign, ok := s.Init.(*ast.AssignStmt)
-	if !ok || assign.Tok != token.DEFINE || len(assign.Lhs) != 1 {
-		return nil, loopVar{}, false
-	}
-	id, ok := assign.Lhs[0].(*ast.Ident)
-	if !ok {
-		return nil, loopVar{}, false
-	}
-	obj, ok := pass.TypesInfo.Defs[id].(*types.Var)
-	if !ok {
-		return nil, loopVar{}, false
-	}
-	inc, ok := s.Post.(*ast.IncDecStmt)
-	if !ok {
-		return nil, loopVar{}, false
-	}
-	postID, ok := inc.X.(*ast.Ident)
-	if !ok || pass.TypesInfo.Uses[postID] != obj {
-		return nil, loopVar{}, false
-	}
-	lv := loopVar{}
-	switch inc.Tok {
-	case token.INC:
-		lv.dir = loopAscending
-		if len(assign.Rhs) == 1 {
-			if tv, ok := pass.TypesInfo.Types[assign.Rhs[0]]; ok && tv.Value != nil {
-				if c, exact := intConst(tv); exact && c == 0 {
-					lv.fromZero = true
-				}
-			}
-		}
-	case token.DEC:
-		lv.dir = loopDescending
-	default:
-		return nil, loopVar{}, false
-	}
-	return obj, lv, true
-}
-
-func rangeKeyVar(pass *driver.Pass, s *ast.RangeStmt) (*types.Var, bool) {
-	id, ok := s.Key.(*ast.Ident)
-	if !ok || id.Name == "_" {
-		return nil, false
-	}
-	if s.Tok == token.DEFINE {
-		obj, ok := pass.TypesInfo.Defs[id].(*types.Var)
-		return obj, ok
-	}
-	obj, ok := pass.TypesInfo.Uses[id].(*types.Var)
-	return obj, ok
-}
-
-func rangeValueVar(pass *driver.Pass, s *ast.RangeStmt) (*types.Var, bool) {
-	id, ok := s.Value.(*ast.Ident)
-	if !ok || id.Name == "_" {
-		return nil, false
-	}
-	if s.Tok == token.DEFINE {
-		obj, ok := pass.TypesInfo.Defs[id].(*types.Var)
-		return obj, ok
-	}
-	obj, ok := pass.TypesInfo.Uses[id].(*types.Var)
-	return obj, ok
-}
-
-func intConst(tv types.TypeAndValue) (int64, bool) {
-	if tv.Value == nil || tv.Value.Kind() != constant.Int {
-		return 0, false
-	}
-	return constant.Int64Val(tv.Value)
+	ck.locks = out
 }

@@ -10,3 +10,12 @@ import (
 func TestLockOrder(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(t), lockorder.Analyzer, "lockorder")
 }
+
+// TestCrossPackage pins the interprocedural facts layer: the xengine
+// fixture's rank inversion is reachable only through a two-level call
+// chain ending in the sibling xstore fixture, so the want inside it
+// fails if the analysis is weakened to intraprocedural or to one-level
+// summaries.
+func TestCrossPackage(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), lockorder.Analyzer, "xengine")
+}

@@ -1,0 +1,134 @@
+// Package rankdecl checks that every mutex declaration takes a
+// position in the lock-rank order.
+//
+// The lockorder and lockblock analyzers can only check mutexes that
+// carry a `// lock-rank: N` marker; a new mutex added without one is
+// silently invisible to both. rankdecl closes that gap: every
+// sync.Mutex / sync.RWMutex struct field and package-level variable
+// (slices and arrays of them included) must carry either a numeric
+// marker — opting into order checking — or an explicit
+// `// lock-rank: none <reason>` stating why the lock stands outside
+// the ranked order (a leaf lock, a test fixture, a lock with its own
+// documented discipline). A bare `lock-rank: none` without the reason
+// is rejected: the reason is the reviewable part.
+//
+// Declarations in _test.go files are exempt — test-local mutexes do
+// not interact with the engine's lock order.
+package rankdecl
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"patchindex/internal/analysis/driver"
+	"patchindex/internal/analysis/lintutil"
+)
+
+var Analyzer = &driver.Analyzer{
+	Name: "rankdecl",
+	Doc:  "check that every mutex declaration carries a lock-rank marker (numeric or `none <reason>`)",
+	Run:  run,
+}
+
+var markerRE = regexp.MustCompile(`lock-rank:\s*(\d+|none\b)[ \t]*(.*)`)
+
+func run(pass *driver.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		name := pass.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			switch gd.Tok {
+			case token.VAR:
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						check(pass, "package variable", vs.Names, vs.Type, gd.Doc, vs.Doc, vs.Comment)
+					}
+				}
+			case token.TYPE:
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					for _, field := range st.Fields.List {
+						check(pass, "field", field.Names, field.Type, field.Doc, field.Comment)
+					}
+				}
+			}
+		}
+	}
+	return nil, nil
+}
+
+// check validates the marker on one declared name (or embedded field).
+func check(pass *driver.Pass, kind string, names []*ast.Ident, typ ast.Expr, groups ...*ast.CommentGroup) {
+	ids := names
+	if len(ids) == 0 && typ != nil {
+		if id := embeddedIdent(typ); id != nil {
+			ids = []*ast.Ident{id}
+		}
+	}
+	for _, name := range ids {
+		obj, ok := pass.TypesInfo.Defs[name].(*types.Var)
+		if !ok {
+			// An embedded field's identifier resolves through Uses.
+			if obj, ok = pass.TypesInfo.Uses[name].(*types.Var); !ok {
+				continue
+			}
+		}
+		t := obj.Type()
+		switch u := t.Underlying().(type) {
+		case *types.Slice:
+			t = u.Elem()
+		case *types.Array:
+			t = u.Elem()
+		}
+		if lintutil.MutexKind(t) == "" {
+			continue
+		}
+		m := marker(groups...)
+		switch {
+		case m == nil:
+			pass.Reportf(name.Pos(), "%s %s is a sync mutex without a lock-rank marker; add `// lock-rank: N` or `// lock-rank: none <reason>`", kind, name.Name)
+		case m[1] == "none" && strings.TrimSpace(m[2]) == "":
+			pass.Reportf(name.Pos(), "`lock-rank: none` on %s needs a reason explaining why the lock stands outside the ranked order", name.Name)
+		}
+	}
+}
+
+func marker(groups ...*ast.CommentGroup) []string {
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		if m := markerRE.FindStringSubmatch(g.Text()); m != nil {
+			return m
+		}
+	}
+	return nil
+}
+
+func embeddedIdent(typ ast.Expr) *ast.Ident {
+	switch t := ast.Unparen(typ).(type) {
+	case *ast.Ident:
+		return t
+	case *ast.SelectorExpr:
+		return t.Sel
+	case *ast.StarExpr:
+		return embeddedIdent(t.X)
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package rankdecl_test
+
+import (
+	"testing"
+
+	"patchindex/internal/analysis/analysistest"
+	"patchindex/internal/analysis/rankdecl"
+)
+
+func TestRankDecl(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), rankdecl.Analyzer, "rankdecl")
+}

@@ -29,6 +29,7 @@ import (
 	"go/types"
 
 	"patchindex/internal/analysis/driver"
+	"patchindex/internal/analysis/lintutil"
 )
 
 var Analyzer = &driver.Analyzer{
@@ -36,28 +37,6 @@ var Analyzer = &driver.Analyzer{
 	Doc:  "check that snapshot/scan handles reach Close or Release on every path",
 	Run:  run,
 }
-
-// acqMethods names the resource constructors across the engine,
-// storage, and tpch packages. A call only counts when its first result
-// is closeable, so a same-named method elsewhere that returns plain
-// data is ignored.
-var acqMethods = map[string]bool{
-	"Snapshot":       true,
-	"MustSnapshot":   true,
-	"SnapshotAll":    true,
-	"SnapshotTable":  true,
-	"snapshotColumn": true,
-	"ScanAll":        true,
-	"ScanPartition":  true,
-	"Distinct":       true,
-	"SortQuery":      true,
-	"Retain":         true,
-	"RetainPartitions": true,
-	"Queries":        true,
-	"QueriesAt":      true,
-}
-
-var closeMethods = map[string]bool{"Close": true, "Release": true}
 
 func run(pass *driver.Pass) (interface{}, error) {
 	for _, f := range pass.Files {
@@ -94,42 +73,12 @@ func checkBody(pass *driver.Pass, body *ast.BlockStmt) {
 			return false
 		}
 		call, ok := n.(*ast.CallExpr)
-		if !ok || !isAcquisition(pass, call) {
+		if !ok || !lintutil.IsAcquisition(pass.TypesInfo, call) {
 			return true
 		}
 		classify(pass, body, call, stack)
 		return true
 	})
-}
-
-// isAcquisition reports whether call invokes a listed method whose
-// first result is closeable.
-func isAcquisition(pass *driver.Pass, call *ast.CallExpr) bool {
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok || !acqMethods[sel.Sel.Name] {
-		return false
-	}
-	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
-	if !ok {
-		return false
-	}
-	sig, ok := fn.Type().(*types.Signature)
-	if !ok || sig.Results().Len() == 0 {
-		return false
-	}
-	return closeable(sig.Results().At(0).Type())
-}
-
-func closeable(t types.Type) bool {
-	for name := range closeMethods {
-		obj, _, _ := types.LookupFieldOrMethod(t, true, nil, name)
-		if m, ok := obj.(*types.Func); ok {
-			if sig, ok := m.Type().(*types.Signature); ok && sig.Params().Len() == 0 {
-				return true
-			}
-		}
-	}
-	return false
 }
 
 // classify looks at where an acquisition's result goes.
@@ -155,7 +104,7 @@ func classify(pass *driver.Pass, body *ast.BlockStmt, call *ast.CallExpr, stack 
 	case *ast.SelectorExpr:
 		// Chained call on the unbound result: fine only if it is the
 		// close itself (t.Snapshot().Close() — pointless but closed).
-		if !closeMethods[parent.Sel.Name] {
+		if !lintutil.CloseMethods[parent.Sel.Name] {
 			pass.Reportf(call.Pos(), "result of %s is used without being bound to a variable; it can never be closed", name)
 		}
 	case *ast.AssignStmt:
@@ -356,7 +305,7 @@ func (w *walker) useEscapes(id *ast.Ident, stack []ast.Node) bool {
 			if p.X != child {
 				return false // our ident IS the selector name of something else
 			}
-			if !closeMethods[p.Sel.Name] {
+			if !lintutil.CloseMethods[p.Sel.Name] {
 				return false // reading a field / calling another method: plain use
 			}
 			// s.Close — method value or call?
@@ -601,7 +550,7 @@ func (w *walker) isCloseCall(e ast.Expr) bool {
 		return false
 	}
 	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok || !closeMethods[sel.Sel.Name] {
+	if !ok || !lintutil.CloseMethods[sel.Sel.Name] {
 		return false
 	}
 	id, ok := ast.Unparen(sel.X).(*ast.Ident)

@@ -1,0 +1,117 @@
+// Package closeowner is the golden fixture for the closeowner analyzer.
+package closeowner
+
+import "errors"
+
+type Snap struct{}
+
+func (s *Snap) Close()       {}
+func (s *Snap) NumRows() int { return 0 }
+
+type Ref struct{}
+
+func (r *Ref) Release() {}
+
+type Table struct{}
+
+func (t *Table) Snapshot() *Snap { return &Snap{} }
+func (t *Table) Retain() *Ref    { return &Ref{} }
+
+type Op struct{}
+
+// OnClose models the exec-layer ownership transfer: the operator tree
+// takes the bound release method and drives the handle's lifetime.
+func OnClose(op *Op, fn func()) *Op { return op }
+
+var errNope = errors.New("nope")
+
+func failed(*Snap) bool { return false }
+
+func transferThenClose(t *Table, op *Op) {
+	snap := t.Snapshot()
+	OnClose(op, snap.Close)
+	snap.Close() // want `close of snap after its release was handed to OnClose at .*; the new owner closes it`
+}
+
+func transferThenUse(t *Table, op *Op) int {
+	snap := t.Snapshot()
+	OnClose(op, snap.Close)
+	return snap.NumRows() // want `snap used after its release was handed to OnClose at .*; the new owner drives its lifetime now`
+}
+
+func deferThenTransfer(t *Table, op *Op) {
+	snap := t.Snapshot()
+	defer snap.Close()
+	OnClose(op, snap.Close) // want `release of snap handed to OnClose, but a deferred close at .* also releases it at function exit`
+}
+
+func doubleClose(t *Table) {
+	snap := t.Snapshot()
+	snap.Close()
+	snap.Close() // want `snap closed twice \(first closed at .*\)`
+}
+
+func doubleTransfer(t *Table, op *Op) {
+	snap := t.Snapshot()
+	OnClose(op, snap.Close)
+	OnClose(op, snap.Close) // want `release of snap handed to OnClose, but it was already handed to OnClose at .*`
+}
+
+func transferAfterClose(t *Table, op *Op) {
+	snap := t.Snapshot()
+	snap.Close()
+	OnClose(op, snap.Close) // want `release of snap handed to OnClose after snap was already closed at .*`
+}
+
+// Release handles follow the same ownership rules as Close handles.
+func releaseHandle(t *Table, op *Op) {
+	ref := t.Retain()
+	OnClose(op, ref.Release)
+	ref.Release() // want `close of ref after its release was handed to OnClose at .*; the new owner closes it`
+}
+
+// The close-then-return error guard must not poison the success path.
+func errGuardOK(t *Table, op *Op) error {
+	snap := t.Snapshot()
+	if failed(snap) {
+		snap.Close()
+		return errNope
+	}
+	OnClose(op, snap.Close)
+	return nil
+}
+
+func deferOnlyOK(t *Table) int {
+	snap := t.Snapshot()
+	defer snap.Close()
+	return snap.NumRows()
+}
+
+// One deferred close plus an explicit close is the idiomatic safety
+// net; Close is documented idempotent.
+func deferPlusExplicitOK(t *Table) {
+	snap := t.Snapshot()
+	defer snap.Close()
+	snap.Close()
+}
+
+func transferOnlyOK(t *Table, op *Op) {
+	snap := t.Snapshot()
+	OnClose(op, snap.Close)
+}
+
+// Returning the bound release hands ownership to the caller; nothing
+// after the return can misuse it.
+func returnedToCaller(t *Table) func() {
+	snap := t.Snapshot()
+	return snap.Close
+}
+
+// Re-binding the variable ends tracking: the second handle is a
+// different audit.
+func rebound(t *Table) {
+	snap := t.Snapshot()
+	snap.Close()
+	snap = t.Snapshot()
+	snap.Close()
+}

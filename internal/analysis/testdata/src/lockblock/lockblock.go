@@ -1,0 +1,139 @@
+// Package lockblock is the golden fixture for the lockblock analyzer.
+package lockblock
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+type DB struct {
+	mu sync.Mutex // lock-rank: 10
+}
+
+// leaf's lock opts out of the ranked order; lockblock must ignore it.
+type leaf struct {
+	mu sync.Mutex // lock-rank: none fixture-local leaf lock
+}
+
+func sendWhileLocked(db *DB, ch chan int) {
+	db.mu.Lock()
+	ch <- 1 // want `channel send while holding db\.mu \(lock-rank 10\)`
+	db.mu.Unlock()
+}
+
+func recvWhileLocked(db *DB, ch chan int) {
+	db.mu.Lock()
+	<-ch // want `channel receive while holding db\.mu \(lock-rank 10\)`
+	db.mu.Unlock()
+}
+
+func rangeWhileLocked(db *DB, ch chan int) {
+	db.mu.Lock()
+	for range ch { // want `range over channel while holding db\.mu \(lock-rank 10\)`
+	}
+	db.mu.Unlock()
+}
+
+func sleepWhileLocked(db *DB) {
+	db.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep while holding db\.mu \(lock-rank 10\)`
+	db.mu.Unlock()
+}
+
+func waitWhileLocked(db *DB, wg *sync.WaitGroup) {
+	db.mu.Lock()
+	wg.Wait() // want `sync\.WaitGroup\.Wait while holding db\.mu \(lock-rank 10\)`
+	db.mu.Unlock()
+}
+
+func openWhileLocked(db *DB) {
+	db.mu.Lock()
+	f, _ := os.Open("x") // want `os\.Open while holding db\.mu \(lock-rank 10\)`
+	_ = f
+	db.mu.Unlock()
+}
+
+func selectWhileLocked(db *DB, a, b chan int) {
+	db.mu.Lock()
+	select { // want `select while holding db\.mu \(lock-rank 10\)`
+	case <-a:
+	case <-b:
+	}
+	db.mu.Unlock()
+}
+
+// A select with a default clause polls instead of blocking.
+func selectWithDefault(db *DB, a chan int) {
+	db.mu.Lock()
+	select {
+	case <-a:
+	default:
+	}
+	db.mu.Unlock()
+}
+
+// Nothing is held once the lock is released.
+func afterUnlock(db *DB, ch chan int) {
+	db.mu.Lock()
+	db.mu.Unlock()
+	ch <- 1
+}
+
+// A goroutine body runs concurrently; it is analyzed as its own
+// function, with an empty held set.
+func goroutineBody(db *DB, ch chan int) {
+	db.mu.Lock()
+	go func() {
+		ch <- 1
+	}()
+	db.mu.Unlock()
+}
+
+// lock-rank: none locks are exempt.
+func leafExempt(l *leaf, ch chan int) {
+	l.mu.Lock()
+	ch <- 1
+	l.mu.Unlock()
+}
+
+func blockingHelper(ch chan int) {
+	ch <- 1
+}
+
+// The interprocedural case: the blocking operation is inside a helper,
+// visible only through its flattened summary.
+func viaHelper(db *DB, ch chan int) {
+	db.mu.Lock()
+	blockingHelper(ch) // want `call blocks \(channel send in blockingHelper at lockblock/lockblock\.go:\d+\) while holding db\.mu \(lock-rank 10\)`
+	db.mu.Unlock()
+}
+
+// lockAndWait both acquires and blocks; its own walk reports the pair
+// at the defining site.
+func lockAndWait(db *DB, wg *sync.WaitGroup) {
+	db.mu.Lock()
+	wg.Wait() // want `sync\.WaitGroup\.Wait while holding db\.mu \(lock-rank 10\)`
+	db.mu.Unlock()
+}
+
+// A caller holding nothing of its own must NOT re-report the callee's
+// internal acquire+block pair at the call site.
+func callsLockAndWait(db *DB, wg *sync.WaitGroup) {
+	lockAndWait(db, wg)
+}
+
+// But a lock the caller itself holds across the blocking call is the
+// caller's fault, and is reported here.
+func holdsAndCalls(db, other *DB, wg *sync.WaitGroup) {
+	other.mu.Lock()
+	lockAndWait(db, wg) // want `call blocks \(sync\.WaitGroup\.Wait in lockAndWait at lockblock/lockblock\.go:\d+\) while holding other\.mu \(lock-rank 10\)`
+	other.mu.Unlock()
+}
+
+// Suppression applies to lockblock like every other analyzer.
+func suppressed(db *DB, ch chan int) {
+	db.mu.Lock()
+	ch <- 1 //pilint:ignore lockblock fixture exercises the suppression path
+	db.mu.Unlock()
+}

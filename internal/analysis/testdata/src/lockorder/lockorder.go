@@ -137,3 +137,10 @@ func suppressedInversion(db *DB, t *Table) {
 	db.mu.Unlock()
 	t.mu.Unlock()
 }
+
+// An ignore that suppresses nothing is itself a defect: the stale
+// audit reports it so left-behind suppressions cannot rot in place.
+func staleSuppression(db *DB) {
+	db.mu.Lock() //pilint:ignore lockorder nothing wrong on this line // want `pilint:ignore suppresses no diagnostic; remove the stale comment`
+	db.mu.Unlock()
+}

@@ -1,0 +1,12 @@
+package rankdecl
+
+import "sync"
+
+// Declarations in _test.go files are exempt: test-local mutexes do not
+// interact with the engine's lock order, so none of these want a
+// diagnostic.
+type testHarness struct {
+	mu sync.Mutex
+}
+
+var testMu sync.Mutex

@@ -1,0 +1,50 @@
+// Package rankdecl is the golden fixture for the rankdecl analyzer.
+package rankdecl
+
+import "sync"
+
+// Numeric markers opt the lock into order checking: no diagnostic.
+type ranked struct {
+	mu  sync.Mutex   // lock-rank: 10
+	pmu []sync.Mutex // lock-rank: 20
+	n   int
+}
+
+// A doc-comment marker works as well as a trailing one.
+type docMarked struct {
+	// lock-rank: 30
+	mu sync.Mutex
+}
+
+type missing struct {
+	mu sync.Mutex // want `field mu is a sync mutex without a lock-rank marker`
+}
+
+// An explicit opt-out needs a reason.
+type noneOK struct {
+	mu sync.RWMutex // lock-rank: none fixture-local leaf lock
+}
+
+type noneBare struct {
+	// lock-rank: none
+	mu sync.Mutex // want "`lock-rank: none` on mu needs a reason"
+}
+
+// Embedded mutexes are declarations too.
+type embeds struct {
+	sync.Mutex // want `field Mutex is a sync mutex without a lock-rank marker`
+	n          int
+}
+
+var globalMu sync.Mutex // want `package variable globalMu is a sync mutex without a lock-rank marker`
+
+var shardMu []sync.Mutex // lock-rank: 40
+
+var rwVar sync.RWMutex // lock-rank: none fixture-local, never ordered against anything
+
+// Non-mutex declarations are out of scope.
+var counter int
+
+type plain struct {
+	name string
+}

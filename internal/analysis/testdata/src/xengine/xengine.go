@@ -1,0 +1,36 @@
+// Package xengine is the dependent half of the cross-package fixture:
+// holding its rank-30 mutex while the depth-2 chain note ->
+// xstore.Registry.Note acquires the rank-15 registry lock is a rank
+// inversion. An intraprocedural walk — or a one-level summary that
+// stops at note — sees no lock event at all at the call site; only the
+// transitive facts closure makes the want below fire.
+package xengine
+
+import (
+	"sync"
+
+	"xstore"
+)
+
+type Engine struct {
+	mu  sync.Mutex // lock-rank: 30
+	reg *xstore.Registry
+}
+
+// note is the intermediate hop: one call level away from the xstore
+// lock.
+func (e *Engine) note() {
+	e.reg.Note()
+}
+
+func (e *Engine) bad() {
+	e.mu.Lock()
+	e.note() // want `r\.mu \(lock-rank 15\) acquired while holding e\.mu \(lock-rank 30\); locks must be acquired in ascending lock-rank order \(in .*Note at xstore/xstore\.go:\d+\)`
+	e.mu.Unlock()
+}
+
+func (e *Engine) good() {
+	e.note()
+	e.mu.Lock()
+	e.mu.Unlock()
+}

@@ -1,0 +1,20 @@
+// Package xstore is the dependency half of the cross-package
+// interprocedural fixture: xengine reaches its ranked mutex only
+// through a call chain, so the inversion there is visible only via the
+// serialized locksum facts computed for this package.
+package xstore
+
+import "sync"
+
+// Registry owns the fixture's low-rank lock.
+type Registry struct {
+	mu sync.Mutex // lock-rank: 15
+	n  int
+}
+
+// Note acquires and releases the registry lock.
+func (r *Registry) Note() {
+	r.mu.Lock()
+	r.n++
+	r.mu.Unlock()
+}

@@ -10,8 +10,8 @@ import "sync"
 // of decrements and would commute, but the physical shifts require
 // exclusive access to the affected shard.
 type Concurrent struct {
-	mu     sync.RWMutex // structure lock: layout, starts, n
-	shards []sync.Mutex // one lock per shard for bit-level access
+	mu     sync.RWMutex // structure lock: layout, starts, n; lock-rank: none private two-level order (mu before shards), never held across engine calls
+	shards []sync.Mutex // one lock per shard for bit-level access; lock-rank: none innermost bitmap locks, nothing acquired under them
 	s      *Sharded
 }
 

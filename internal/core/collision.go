@@ -91,7 +91,7 @@ type partitionBloom struct {
 // filter keys: bloom key → number of in-flight batches carrying it. The
 // mutex is leaf-level: nothing is acquired under it.
 type inflightLedger struct {
-	mu   sync.Mutex
+	mu   sync.Mutex // lock-rank: none leaf lock, nothing is acquired under it
 	keys map[int64]int
 }
 

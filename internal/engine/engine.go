@@ -150,10 +150,15 @@
 //
 // # Mechanically enforced invariants
 //
-// Four of the invariants above are checked by cmd/pilint (standalone:
+// The invariants above are checked by cmd/pilint (standalone:
 // `go run ./cmd/pilint ./...`; as a vet tool: `go build -o pilint
 // ./cmd/pilint && go vet -vettool=./pilint ./...`), so violations fail
-// CI instead of waiting for a race or deadlock to reproduce:
+// CI instead of waiting for a race or deadlock to reproduce. The lock
+// analyzers are interprocedural: every package's per-function lock
+// behavior is summarized into serialized facts (internal/analysis/
+// locksum) computed bottom-up over the dependency graph, so a lock
+// acquired three calls deep in another package counts exactly like a
+// direct acquisition at the call site.
 //
 //   - lockorder: the global lock order. Every mutex participating in it
 //     carries a `// lock-rank: N` marker on its declaration — the
@@ -162,22 +167,42 @@
 //     ascending index order), and the storage registry mutex (40, with
 //     the partition minmax lock at 50). Acquiring a lower rank while
 //     holding a higher one, or partition locks out of index order, is
-//     reported — including through one level of lock-helper calls
-//     (lockPartition, lockAllPartitions, ...).
+//     reported — through arbitrary call chains (lockPartition,
+//     lockAllPartitions, engine→storage→bitmap, ...), with the chain's
+//     defining function and position named in the message.
+//   - lockblock: no rank-marked lock is held across a potentially
+//     blocking operation — channel send/receive, select without a
+//     default, time.Sleep, WaitGroup/Cond waits, or os/net/io calls
+//     that reach the kernel — directly or through a callee's summary.
+//   - rankdecl: every sync.Mutex/RWMutex declaration carries either a
+//     numeric `// lock-rank: N` marker or an explicit
+//     `// lock-rank: none <reason>` opting out; an unmarked mutex is
+//     invisible to the order checks and therefore a defect.
 //   - snapclose: every snapshot or query-internal capture
 //     (Snapshot, SnapshotTable, ScanAll, ScanPartition, Distinct,
 //     SortQuery, Retain, ...) must reach Close/Release on all paths, so
 //     generation refs cannot be wedged open.
+//   - closeowner: once a handle's release is handed to a new owner
+//     (exec.OnClose(op, s.Close), Queries' internal snapshots), the
+//     original holder must neither close it again nor keep using it.
 //   - atomicmix: state accessed via sync/atomic (the NUC Bloom words,
 //     insert-gate counters) is never also accessed with a plain read or
 //     write.
 //   - deferunlock: lock regions with return paths or panic-capable
 //     calls inside use defer for the release.
 //
+// On top of the per-package analyzers, the whole-program lockgraph
+// check rebuilds the "acquired B while holding A" graph from the same
+// facts and reports any cycle — ranked or not — as a potential
+// deadlock. `go run ./cmd/pilint -lockgraph ./...` renders the graph
+// as DOT; the committed picture lives at docs/lockgraph.dot and CI
+// asserts it stays acyclic.
+//
 // Deliberate exceptions carry a `//pilint:ignore <analyzer> <reason>`
-// comment; the reason is mandatory, and a typoed ignore is itself a
-// diagnostic. Update the marker comments and re-run pilint in the same
-// PR as any locking change.
+// comment; the reason is mandatory, a typoed ignore is itself a
+// diagnostic, and an ignore that no longer suppresses anything is
+// reported as stale. Update the marker comments and re-run pilint in
+// the same PR as any locking change.
 package engine
 
 import (
@@ -684,6 +709,7 @@ func (t *Table) CreatePatchIndex(column string, constraint core.Constraint, opts
 			indexes[p] = core.BuildNSC(t.viewLocked(p).MaterializeInt64(col), opts)
 		}(p)
 	}
+	//pilint:ignore lockblock NSC build workers are CPU-bound partition scans; index creation holds the structure lock exclusively by design
 	wg.Wait()
 	t.indexes[column] = indexes
 	return nil

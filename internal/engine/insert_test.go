@@ -602,7 +602,7 @@ func TestSnapshotCloseIdempotentAfterDrain(t *testing.T) {
 		t.Fatal(err)
 	}
 	snap.Close()
-	snap.Close() // idempotent
+	snap.Close() //pilint:ignore closeowner deliberate double close: the test asserts Close is idempotent
 	if n := tb.Store().LiveSnapshotRefs(); n != 0 {
 		t.Fatalf("live refs after double close = %d, want 0", n)
 	}

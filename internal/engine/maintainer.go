@@ -158,7 +158,7 @@ type Maintainer struct {
 	// regMu guards reorderers. Leaf-level: nothing else is ever
 	// acquired while it is held (registry snapshots are copied out
 	// before any engine call).
-	regMu      sync.Mutex
+	regMu      sync.Mutex // lock-rank: none leaf lock, registry snapshots are copied out before any engine call
 	reorderers map[string]map[string]PartitionReorderer
 
 	stopOnce sync.Once

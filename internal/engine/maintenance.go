@@ -214,6 +214,7 @@ func (db *Database) DeleteRowIDs(table string, partition int, rowIDs []uint64) e
 	}
 	t.lockPartition(partition)
 	defer t.unlockPartition(partition)
+	//pilint:ignore lockblock bitmap.BulkDelete's work channel is buffered and prefilled and its workers are CPU-bound shard shifts; delete maintenance owns the partition by design
 	return t.deleteRowIDsLocked(db, partition, rowIDs)
 }
 
@@ -299,6 +300,7 @@ func (db *Database) DeleteWhereInt64(table, column string, pred func(int64) bool
 			continue
 		}
 		total += len(rowIDs)
+		//pilint:ignore lockblock bitmap.BulkDelete's work channel is buffered and prefilled and its workers are CPU-bound shard shifts; delete maintenance owns the partition by design
 		if err := t.deleteRowIDsLocked(db, p, rowIDs); err != nil {
 			return total, err
 		}

@@ -282,7 +282,7 @@ func modelWorkerRun(db *Database, tb *Table, mw *modelWorker, ops int) error {
 			}
 			snap.Close()
 			if mw.rng.Intn(2) == 0 {
-				snap.Close() // idempotent
+				snap.Close() //pilint:ignore closeowner deliberate double close: the model test exercises Close idempotence
 			}
 		case k < 92: // out-of-range ScanPartition must error, not panic
 			if scan, err := tb.ScanPartition(modelParts+3, "id"); err == nil || scan != nil {

@@ -159,7 +159,7 @@ func TestSnapshotCloseReleasesExactlyOnce(t *testing.T) {
 	s1 := tb.Snapshot()
 	s2 := tb.Snapshot()
 	s1.Close()
-	s1.Close()
+	s1.Close() //pilint:ignore closeowner deliberate double close: the test asserts it cannot release another snapshot's ref
 	if reorderable(tb) {
 		t.Fatal("double Close released another snapshot's ref")
 	}

@@ -372,7 +372,7 @@ func TestDatabaseSnapshotAtomicAcrossTables(t *testing.T) {
 		t.Fatal("unknown table accepted")
 	}
 	snap.Close()
-	snap.Close() // idempotent
+	snap.Close() //pilint:ignore closeowner deliberate double close: the test asserts Close is idempotent
 }
 
 // TestDatabaseSnapshotJoinPrefixConsistent is the cross-table race test:

@@ -140,7 +140,7 @@ func ErosionExceptionRate(rows uint64, erosion float64) float64 {
 // reality. Safe for concurrent use; zero value is NOT usable, call
 // NewChooser.
 type Chooser struct {
-	mu     sync.Mutex // guards factor; leaf lock, no rank interactions
+	mu     sync.Mutex // guards factor; lock-rank: none leaf lock, no rank interactions
 	factor map[string]float64
 }
 

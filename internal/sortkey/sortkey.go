@@ -54,7 +54,7 @@ type SortKey struct {
 	// table), so increments go through countMu; read Rebuilds only
 	// after the rebuilds quiesce.
 	Rebuilds int
-	countMu  sync.Mutex
+	countMu  sync.Mutex // lock-rank: none leaf guard for the Rebuilds counter only
 	// guard wraps the whole-table physical reorder for engine-owned
 	// tables (Table.ExclusiveStorage); nil for raw storage-level
 	// SortKeys. pguard is its partition-granular sibling

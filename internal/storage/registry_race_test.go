@@ -33,7 +33,7 @@ func TestRegistryConcurrentOps(t *testing.T) {
 				}
 				tb.LiveSnapshotRefs()
 				ref.Release()
-				ref.Release() // idempotence under contention
+				ref.Release() //pilint:ignore closeowner deliberate double release: the race test asserts idempotence under contention
 			}
 		}()
 	}

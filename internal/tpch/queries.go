@@ -96,7 +96,7 @@ type Queries struct {
 	boundJI      *joinindex.Index
 	boundVersion uint64
 
-	mu     sync.Mutex
+	mu     sync.Mutex // lock-rank: none leaf guard for jiRefs bookkeeping in the benchmark harness
 	jiRefs map[*joinindex.Index][][]int64
 }
 
