@@ -11,9 +11,11 @@
 //	pibench -quick                  # smoke-test scale
 //
 // Experiments: fig1, fig6, table2, fig7, fig8, fig9, table3, fig10,
-// fig11, daemon, all. (daemon is an extension beyond the paper: the
-// self-managing maintenance daemon under insert/delete churn, with its
-// repair-action counters.)
+// fig11, daemon, recover, all. (daemon and recover are extensions
+// beyond the paper's evaluation: daemon exercises the self-managing
+// maintenance daemon under insert/delete churn with its repair-action
+// counters; recover measures the WAL write-path overhead and the
+// crash-recovery replay time of the Section 3.4 durability path.)
 package main
 
 import (
@@ -26,7 +28,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id: fig1|fig6|table2|fig7|fig8|fig9|table3|fig10|fig11|daemon|all")
+		exp     = flag.String("exp", "all", "experiment id: fig1|fig6|table2|fig7|fig8|fig9|table3|fig10|fig11|daemon|recover|all")
 		rows    = flag.Int("rows", 0, "microbenchmark table rows (0 = default scale)")
 		sf      = flag.Float64("sf", 0, "TPC-H scale factor (0 = default scale)")
 		bits    = flag.Uint64("bits", 0, "sharded bitmap size in bits (0 = default scale)")
@@ -54,18 +56,19 @@ func main() {
 
 	w := os.Stdout
 	runners := map[string]func(){
-		"fig1":   func() { experiments.RunFig1(w, scale) },
-		"fig6":   func() { experiments.RunFig6(w, scale) },
-		"table2": func() { experiments.RunTable2(w, scale) },
-		"fig7":   func() { experiments.RunFig7(w, scale) },
-		"fig8":   func() { experiments.RunFig8(w, scale) },
-		"fig9":   func() { experiments.RunFig9(w, scale) },
-		"table3": func() { experiments.RunTable3(w, scale) },
-		"fig10":  func() { experiments.RunFig10(w, scale) },
-		"fig11":  func() { experiments.RunFig11(w, scale) },
-		"daemon": func() { experiments.RunDaemon(w, scale) },
+		"fig1":    func() { experiments.RunFig1(w, scale) },
+		"fig6":    func() { experiments.RunFig6(w, scale) },
+		"table2":  func() { experiments.RunTable2(w, scale) },
+		"fig7":    func() { experiments.RunFig7(w, scale) },
+		"fig8":    func() { experiments.RunFig8(w, scale) },
+		"fig9":    func() { experiments.RunFig9(w, scale) },
+		"table3":  func() { experiments.RunTable3(w, scale) },
+		"fig10":   func() { experiments.RunFig10(w, scale) },
+		"fig11":   func() { experiments.RunFig11(w, scale) },
+		"daemon":  func() { experiments.RunDaemon(w, scale) },
+		"recover": func() { experiments.RunRecover(w, scale) },
 	}
-	order := []string{"fig1", "fig6", "table2", "fig7", "fig8", "table3", "fig9", "fig10", "fig11", "daemon"}
+	order := []string{"fig1", "fig6", "table2", "fig7", "fig8", "table3", "fig9", "fig10", "fig11", "daemon", "recover"}
 
 	if *exp == "all" {
 		for _, id := range order {

@@ -32,7 +32,9 @@ func (b *Bitmap) WriteTo(w io.Writer) (int64, error) {
 	return written + n, err
 }
 
-// ReadFrom deserializes a bitmap previously written with WriteTo.
+// ReadFrom deserializes a bitmap previously written with WriteTo. The
+// word array is read in bounded chunks, so a corrupt length cannot force
+// an allocation larger than the stream backing it.
 func (b *Bitmap) ReadFrom(r io.Reader) (int64, error) {
 	hdr := make([]byte, 16)
 	if _, err := io.ReadFull(r, hdr); err != nil {
@@ -41,10 +43,16 @@ func (b *Bitmap) ReadFrom(r io.Reader) (int64, error) {
 	if binary.LittleEndian.Uint32(hdr[0:]) != magicBitmap {
 		return 0, errors.New("bitmap: bad magic in bitmap checkpoint")
 	}
+	if binary.LittleEndian.Uint32(hdr[4:]) != 0 {
+		return 0, errors.New("bitmap: corrupt checkpoint: nonzero reserved bytes")
+	}
 	b.n = binary.LittleEndian.Uint64(hdr[8:])
-	b.words = make([]uint64, wordsFor(b.n))
-	n, err := readWords(r, b.words)
-	return int64(len(hdr)) + n, err
+	words, n, err := readWordsCapped(r, nil, wordsFor(b.n))
+	if err != nil {
+		return int64(len(hdr)) + n, err
+	}
+	b.words = words
+	return int64(len(hdr)) + n, nil
 }
 
 // WriteTo serializes the sharded bitmap. It implements io.WriterTo.
@@ -77,7 +85,15 @@ func (s *Sharded) WriteTo(w io.Writer) (int64, error) {
 	return written, nil
 }
 
-// ReadFrom deserializes a sharded bitmap previously written with WriteTo.
+// maxShardBits caps the shard size a checkpoint may declare (far above
+// any size the engine creates), bounding the per-shard allocation a
+// corrupt header can demand.
+const maxShardBits = 1 << 26
+
+// ReadFrom deserializes a sharded bitmap previously written with
+// WriteTo. Header fields are cross-checked before anything is allocated
+// from them — the shard count must cover the declared live and lost
+// slots — and the word arrays are read in bounded chunks.
 func (s *Sharded) ReadFrom(r io.Reader) (int64, error) {
 	hdr := make([]byte, 40)
 	if _, err := io.ReadFull(r, hdr); err != nil {
@@ -86,23 +102,50 @@ func (s *Sharded) ReadFrom(r io.Reader) (int64, error) {
 	if binary.LittleEndian.Uint32(hdr[0:]) != magicSharded {
 		return 0, errors.New("bitmap: bad magic in sharded bitmap checkpoint")
 	}
+	if binary.LittleEndian.Uint32(hdr[4:]) != 0 {
+		return 0, errors.New("bitmap: corrupt checkpoint: nonzero reserved bytes")
+	}
 	s.n = binary.LittleEndian.Uint64(hdr[8:])
 	s.shardBits = binary.LittleEndian.Uint64(hdr[16:])
-	if s.shardBits < MinShardBits || s.shardBits&(s.shardBits-1) != 0 {
+	if s.shardBits < MinShardBits || s.shardBits > maxShardBits || s.shardBits&(s.shardBits-1) != 0 {
 		return 0, fmt.Errorf("bitmap: corrupt checkpoint: shard size %d", s.shardBits)
 	}
 	s.logShard = uint(bits.TrailingZeros64(s.shardBits))
 	s.shardWords = s.shardBits / wordBits
 	s.lost = binary.LittleEndian.Uint64(hdr[24:])
 	numShards := binary.LittleEndian.Uint64(hdr[32:])
-	s.starts = make([]uint64, numShards)
+	if numShards == 0 || numShards > (1<<62)/s.shardBits {
+		return 0, fmt.Errorf("bitmap: corrupt checkpoint: shard count %d", numShards)
+	}
+	// numShards*shardBits <= 1<<62 here, so the capacity product cannot
+	// wrap; the slots sum is checked for wrap explicitly.
+	if slots := s.n + s.lost; slots < s.n || slots > numShards*s.shardBits {
+		return 0, fmt.Errorf("bitmap: corrupt checkpoint: %d live + %d lost slots overflow %d shards of %d bits", s.n, s.lost, numShards, s.shardBits)
+	}
 	s.vectorized = true
 	read := int64(len(hdr))
-	n, err := readWords(r, s.starts)
+	starts, n, err := readWordsCapped(r, nil, numShards)
 	read += n
 	if err != nil {
 		return read, err
 	}
+	// Every accessor trusts the start values to describe per-shard live
+	// extents within shard capacity; a corrupt array would index out of
+	// a shard's words. starts[0] is pinned at zero by construction and
+	// deletes only ever decrement later entries.
+	if starts[0] != 0 {
+		return read, fmt.Errorf("bitmap: corrupt checkpoint: first shard starts at %d", starts[0])
+	}
+	for sh := uint64(0); sh < numShards; sh++ {
+		next := s.n
+		if sh+1 < numShards {
+			next = starts[sh+1]
+		}
+		if next < starts[sh] || next-starts[sh] > s.shardBits {
+			return read, fmt.Errorf("bitmap: corrupt checkpoint: shard %d spans [%d, %d) with %d-bit shards", sh, starts[sh], next, s.shardBits)
+		}
+	}
+	s.starts = starts
 	s.shards = make([][]uint64, numShards)
 	s.shared = make([]bool, numShards)
 	s.startsMut = true
@@ -136,6 +179,29 @@ func writeWords(w io.Writer, words []uint64) (int64, error) {
 		words = words[k:]
 	}
 	return written, nil
+}
+
+// readWordsCapped reads want words appended to dst in bounded chunks: a
+// corrupt header count cannot force an up-front allocation, because each
+// chunk must arrive off the stream before the next is allocated.
+func readWordsCapped(r io.Reader, dst []uint64, want uint64) ([]uint64, int64, error) {
+	const chunk = 1 << 16
+	var read int64
+	for want > 0 {
+		k := want
+		if k > chunk {
+			k = chunk
+		}
+		buf := make([]uint64, k)
+		n, err := readWords(r, buf)
+		read += n
+		if err != nil {
+			return dst, read, err
+		}
+		dst = append(dst, buf...)
+		want -= k
+	}
+	return dst, read, nil
 }
 
 func readWords(r io.Reader, words []uint64) (int64, error) {

@@ -167,6 +167,7 @@ func (db *Database) Insert(table string, rows []storage.Row) error {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	//pilint:ignore lockblock write-ahead: the WAL append inside must be ordered by the same lock that orders the mutation it logs (Durability, package docs)
 	return t.insertExclusiveLocked(db, roundRobin(rows, t.store.NumPartitions()))
 }
 
@@ -230,9 +231,9 @@ func (db *Database) InsertRowsPartition(table string, partition int, rows []stor
 // per-partition value scans, never the Fig. 5 global join (which stays
 // the paper's Insert path of record).
 func (t *Table) insertPartitioned(db *Database, perPart [][]storage.Row) error {
-	rejected, done := t.insertFastPath(db, perPart)
+	rejected, done, err := t.insertFastPath(db, perPart)
 	if done {
-		return nil
+		return err
 	}
 	// The rejected attempt pre-published this batch's values; their
 	// ledger entries must outlive the retry below (they keep a
@@ -257,49 +258,70 @@ func (t *Table) insertPartitioned(db *Database, perPart [][]storage.Row) error {
 		// Degenerate only: a NUC index without collision state
 		// (defensive for externally restored indexes) cannot be
 		// classified shardedly; run the global join path.
+		//pilint:ignore lockblock write-ahead: the WAL append inside must be ordered by the same lock that orders the mutation it logs (Durability, package docs)
 		return t.insertExclusiveLocked(db, perPart)
 	}
+	// A chunk can fail only on its WAL append, before mutating anything:
+	// stop there (the committed chunks are a legal prefix) but still run
+	// the publication steps — sealing the discovered duplicates and
+	// patching foreign collisions is conservative-safe for the chunks
+	// that did land (an extra patch costs plan optimality, never
+	// correctness).
+	var chunkErr error
 	for p := range perPart {
 		if len(perPart[p]) == 0 {
 			continue
 		}
-		t.insertChunkLocked(db, p, perPart[p], plan)
+		//pilint:ignore lockblock write-ahead: the WAL append inside must be ordered by the same lock that orders the mutation it logs (Durability, package docs)
+		if err := t.insertChunkLocked(db, p, perPart[p], plan); err != nil {
+			chunkErr = err
+			break
+		}
 	}
 	t.patchForeignCollisionsLocked(plan)
 	t.publishFastInsert(plan)
 	for _, st := range t.nuc {
 		st.RebuildOverfullBlooms()
 	}
-	return nil
+	return chunkErr
 }
 
 // insertFastPath classifies and commits the batch under the shared
 // structure lock. done=false is a planning rejection (a cross-partition
 // candidate collision); the caller retries under the exclusive lock and
 // retires the rejected plan's pre-publications once the retry commits.
-func (t *Table) insertFastPath(db *Database, perPart [][]storage.Row) (rejected *fastInsertPlan, done bool) {
+// done=true with a non-nil err is a WAL append failure: the chunks
+// before the failing one committed (a legal prefix), the rest were
+// skipped, and the batch is NOT retried.
+func (t *Table) insertFastPath(db *Database, perPart [][]storage.Row) (rejected *fastInsertPlan, done bool, err error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	plan, ok := t.planFastInsert(perPart, false)
 	if !ok {
-		return plan, false
+		return plan, false, nil
 	}
 	t.fastInserts.Add(1)
 	for p := range perPart {
 		if len(perPart[p]) == 0 {
 			continue
 		}
-		func() {
+		err = func() error {
 			t.pmu[p].Lock()
 			defer t.pmu[p].Unlock()
-			t.insertChunkLocked(db, p, perPart[p], plan)
+			//pilint:ignore lockblock write-ahead: the WAL append inside must be ordered by the same lock that orders the mutation it logs (Durability, package docs)
+			return t.insertChunkLocked(db, p, perPart[p], plan)
 		}()
+		if err != nil {
+			break
+		}
 	}
 	t.publishFastInsert(plan)
-	// Every chunk's counts are committed; retire the pre-publication
-	// ledger entries (the filter bits themselves stay).
+	// Every committed chunk's counts are in; retire the pre-publication
+	// ledger entries (the filter bits themselves stay). On a chunk error
+	// the publication still runs — sealing values whose rows were
+	// skipped is conservative-safe.
 	unpublish(plan)
-	return nil, true
+	return nil, true, err
 }
 
 // prePublish registers every value of the plan's batch in its target
@@ -581,15 +603,22 @@ func (t *Table) planFastInsert(perPart [][]storage.Row, exact bool) (*fastInsert
 	return plan, true
 }
 
-// insertChunkLocked applies one partition's chunk: local collision
-// scans against the pre-insert state, the delta append, index
-// maintenance (all partition-local), collision-state counts, and the
-// partition's auto-checkpoint. It cannot fail: the entry points
+// insertChunkLocked applies one partition's chunk: the write-ahead
+// record, local collision scans against the pre-insert state, the delta
+// append, index maintenance (all partition-local), collision-state
+// counts, and the partition's auto-checkpoint. Its only failure is the
+// WAL append, reported before anything is mutated (the entry points
 // validate row widths and partition indexes before any chunk runs, and
-// nothing below returns an error. The caller owns partition p — via
-// the shared structure lock plus p's partition lock (the parallel
-// path), or via the exclusive structure lock (the exact retry).
-func (t *Table) insertChunkLocked(db *Database, p int, prows []storage.Row, plan *fastInsertPlan) {
+// nothing after the append returns an error). The caller owns partition
+// p — via the shared structure lock plus p's partition lock (the
+// parallel path), or via the exclusive structure lock (the exact
+// retry).
+func (t *Table) insertChunkLocked(db *Database, p int, prows []storage.Row, plan *fastInsertPlan) error {
+	if t.wal != nil {
+		if err := t.logWAL(t.wal.segs[p], walOpInsertChunk, encodeInsertChunk(t.store.Schema(), p, prows)); err != nil {
+			return err
+		}
+	}
 	base := t.viewLocked(p).NumRows()
 	joins := make([]core.NUCJoinResult, len(plan.cols))
 	for ci := range plan.cols {
@@ -677,6 +706,7 @@ func (t *Table) insertChunkLocked(db *Database, p int, prows []storage.Row, plan
 	if db.AutoCheckpoint {
 		t.checkpointPartitionLocked(p)
 	}
+	return nil
 }
 
 // publishFastInsert completes a fast-path batch by sealing the values
@@ -715,6 +745,14 @@ func (t *Table) insertExclusiveLocked(db *Database, perPart [][]storage.Row) err
 			if _, err := encodeRef(p, uint64(baseRows[p]+len(prows)-1)); err != nil {
 				return fmt.Errorf("engine: insert into %s: %w", t.name, err)
 			}
+		}
+	}
+	// Log the whole batch as one record to the exclusive-op segment —
+	// after validation, before any mutation, so a logged batch either
+	// fully replays or (torn record) never started.
+	if t.wal != nil {
+		if err := t.logWAL(t.wal.excl, walOpInsertExcl, encodePerPart(t.store.Schema(), perPart)); err != nil {
+			return err
 		}
 	}
 	for p, prows := range perPart {

@@ -111,6 +111,12 @@ type MaintainerConfig struct {
 	// doubled per retry.
 	MaxRetries   int
 	RetryBackoff time.Duration
+	// CheckpointEvery, when > 0 and WAL logging is enabled
+	// (Database.EnableWAL), runs Database.CheckpointToDisk every
+	// CheckpointEvery-th sweep — the self-managing truncation that keeps
+	// WAL segments from growing without bound. 0 leaves checkpointing
+	// manual.
+	CheckpointEvery int
 }
 
 // DefaultDiscoverySampleRows is the per-partition row budget of the
@@ -146,6 +152,7 @@ type MaintainerStats struct {
 	Condenses     uint64
 	BloomRebuilds uint64
 	Discoveries   uint64
+	Checkpoints   uint64
 }
 
 // Maintainer is the engine-owned maintenance daemon. Create one with
@@ -167,6 +174,7 @@ type Maintainer struct {
 
 	sweeps, actions, refusals, retries, errs                    atomic.Uint64
 	reorders, recomputes, condenses, bloomRebuilds, discoveries atomic.Uint64
+	checkpoints                                                 atomic.Uint64
 }
 
 // StartMaintainer creates the database's maintenance daemon and, when
@@ -259,6 +267,7 @@ func (m *Maintainer) Stats() MaintainerStats {
 		Condenses:     m.condenses.Load(),
 		BloomRebuilds: m.bloomRebuilds.Load(),
 		Discoveries:   m.discoveries.Load(),
+		Checkpoints:   m.checkpoints.Load(),
 	}
 }
 
@@ -269,6 +278,20 @@ func (m *Maintainer) Sweep() {
 	defer m.sweeps.Add(1)
 	for _, t := range m.db.tablesSnapshot() {
 		m.sweepTable(t)
+	}
+	// Periodic durability checkpoint: every CheckpointEvery-th sweep,
+	// persist a snapshot and truncate the WAL segments behind it. Like
+	// every other action the daemon takes, this is an ordinary exported
+	// entry point called with no daemon lock held.
+	if n := m.cfg.CheckpointEvery; n > 0 {
+		if dir := m.db.WALDir(); dir != "" && (m.sweeps.Load()+1)%uint64(n) == 0 {
+			if err := m.db.CheckpointToDisk(dir); err != nil {
+				m.errs.Add(1)
+			} else {
+				m.checkpoints.Add(1)
+				m.actions.Add(1)
+			}
+		}
 	}
 }
 

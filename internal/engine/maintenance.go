@@ -238,6 +238,13 @@ func (t *Table) deleteRowIDsLocked(db *Database, partition int, rowIDs []uint64)
 		return fmt.Errorf("engine: delete rowID %d out of range [0,%d) in partition %d",
 			rowIDs[len(rowIDs)-1], n, partition)
 	}
+	// Write-ahead: the record lands after validation, before any
+	// mutation, under the lock that owns this partition's segment.
+	if t.wal != nil {
+		if err := t.logWAL(t.wal.segs[partition], walOpDelete, encodeDelete(partition, rowIDs)); err != nil {
+			return err
+		}
+	}
 	// Fold the deleted occurrences out of the sharded collision state
 	// before the delta forgets their values. A sealed duplicated value
 	// stays sealed even when deletes erode it back to uniqueness (or to
@@ -348,6 +355,7 @@ func (db *Database) Modify(table string, partition int, rowIDs []uint64, column 
 	// simply downgrades this to the (correct, coarser-locked) NSC path.
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	//pilint:ignore lockblock write-ahead: the WAL append inside must be ordered by the same lock that orders the mutation it logs (Durability, package docs)
 	return t.modifyLocked(db, partition, rowIDs, column, values)
 }
 
@@ -367,6 +375,7 @@ func (t *Table) modifyPartitionScoped(db *Database, partition int, rowIDs []uint
 	}
 	t.pmu[partition].Lock()
 	defer t.pmu[partition].Unlock()
+	//pilint:ignore lockblock write-ahead: the WAL append inside must be ordered by the same lock that orders the mutation it logs (Durability, package docs)
 	return true, t.modifyLocked(db, partition, rowIDs, column, values)
 }
 
@@ -385,6 +394,21 @@ func (t *Table) modifyLocked(db *Database, partition int, rowIDs []uint64, colum
 			if _, err := encodeRef(partition, r); err != nil {
 				return fmt.Errorf("engine: modify on %s.%s: %w", t.name, column, err)
 			}
+		}
+	}
+	// Write-ahead, after validation and before any mutation. The segment
+	// mirrors the lock mode the dispatch chose (re-checked here, exactly
+	// like the maintenance dispatch below): NUC-column modifies run under
+	// the exclusive structure lock and log to the exclusive-op segment,
+	// partition-scoped modifies own their partition and log to its
+	// segment.
+	if t.wal != nil {
+		seg := t.wal.segs[partition]
+		if idx := t.indexes[column]; len(idx) > 0 && idx[0].ConstraintKind() == core.NearlyUnique {
+			seg = t.wal.excl
+		}
+		if err := t.logWAL(seg, walOpModify, encodeModify(t.store.Schema(), partition, column, rowIDs, values)); err != nil {
+			return err
 		}
 	}
 	// The modified column's collision state needs the outgoing values

@@ -68,6 +68,17 @@ func (t *Table) ReorderPartition(p int, fn func(*storage.Table) error) error {
 	}
 	t.store.Partition(p).InvalidateMinMax()
 	t.recomputePartitionIndexesLocked(p)
+	// A rewrite record carries the partition's POST-state image, so it is
+	// logged after the permutation (the one logged op that cannot be
+	// write-ahead). Losing it to a crash is still safe: this op held the
+	// partition lock, so no later record of this partition exists, and
+	// replay without it reproduces the legal pre-reorder state.
+	if t.wal != nil {
+		//pilint:ignore lockblock the rewrite image must be logged under the same partition lock that ordered the permutation (Durability, package docs)
+		if err := t.logWAL(t.wal.segs[p], walOpRewrite, encodeRewrite(t.store.Schema(), p, t.materializePartitionLocked(p))); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -91,6 +102,19 @@ func (t *Table) ReorderStorage(fn func(*storage.Table) error) error {
 	for p := 0; p < t.store.NumPartitions(); p++ {
 		t.store.Partition(p).InvalidateMinMax()
 		t.recomputePartitionIndexesLocked(p)
+	}
+	// Post-state rewrite images, one per partition, on the exclusive-op
+	// segment (this op holds the structure lock exclusively). As in
+	// ReorderPartition, a crash losing a suffix of these records is safe:
+	// no later record of this table can exist, and the lost partitions
+	// replay to their legal pre-reorder state.
+	if t.wal != nil {
+		for p := 0; p < t.store.NumPartitions(); p++ {
+			//pilint:ignore lockblock the rewrite images must be logged under the same structure lock that ordered the reorganization (Durability, package docs)
+			if err := t.logWAL(t.wal.excl, walOpRewrite, encodeRewrite(t.store.Schema(), p, t.materializePartitionLocked(p))); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
 }

@@ -45,6 +45,7 @@ import (
 	"patchindex/internal/engine"
 	"patchindex/internal/exec"
 	"patchindex/internal/storage"
+	"patchindex/internal/wal"
 )
 
 // Re-exported core types. See the internal packages for full
@@ -88,6 +89,12 @@ type (
 	Operator = exec.Operator
 	// Batch is a vector of tuples flowing between operators.
 	Batch = exec.Batch
+
+	// SyncPolicy selects when WAL appends reach stable storage; see
+	// Database.EnableWAL and the engine package's Durability docs.
+	SyncPolicy = wal.SyncPolicy
+	// RecoverStats reports what Database.Recover restored and replayed.
+	RecoverStats = engine.RecoverStats
 )
 
 // Re-exported constants.
@@ -105,6 +112,11 @@ const (
 	PlanAuto       = engine.PlanAuto
 	PlanReference  = engine.PlanReference
 	PlanPatchIndex = engine.PlanPatchIndex
+
+	// SyncNone: WAL appends are plain writes — durable against process
+	// death (kill -9), not power loss. SyncEach fsyncs every append.
+	SyncNone = wal.SyncNone
+	SyncEach = wal.SyncEach
 )
 
 // NewDatabase returns an empty database.
